@@ -1,0 +1,111 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Not a paper figure, but the knobs the paper's design discussion motivates:
+
+* **error model** — cascade (default) vs two_rule vs the paper-verbatim
+  four_difference: cost/robustness trade-off of the error estimator;
+* **two-level refinement** — on/off (the paper credits it with avoiding
+  overestimation; the two-phase method's phase I famously skips it);
+* **initial-split alignment** — f6's cut planes lie on tenths, so d=10 is
+  straddle-free while d=4 must chase the discontinuity geometrically;
+* **relative-error margin** — the commitment-safety margin this
+  implementation adds (see classify.py).
+
+Writes ``results/ablations.csv``.
+"""
+
+import csv
+
+import harness as hz
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.integrands.paper import f4_gaussian, f6_discontinuous
+
+
+def _run(cfg, integrand):
+    res = PaganiIntegrator(cfg, device=hz.bench_device()).integrate(
+        integrand, integrand.ndim
+    )
+    true_rel = abs(res.estimate - integrand.reference) / abs(integrand.reference)
+    return res, true_rel
+
+
+def _ablation_rows():
+    rows = []
+    g = f4_gaussian(5)
+
+    for model in ("cascade", "two_rule", "four_difference"):
+        res, true_rel = _run(
+            PaganiConfig(rel_tol=1e-4, error_model=model, max_iterations=30), g
+        )
+        rows.append(("error_model", model, res.converged, res.status.value,
+                     true_rel, res.nregions, res.sim_seconds * 1e3))
+
+    for two_level in (True, False):
+        res, true_rel = _run(
+            PaganiConfig(rel_tol=1e-5, two_level=two_level, max_iterations=30), g
+        )
+        rows.append(("two_level", str(two_level), res.converged,
+                     res.status.value, true_rel, res.nregions,
+                     res.sim_seconds * 1e3))
+
+    f6 = f6_discontinuous(6)
+    for d in (4, 10):
+        res, true_rel = _run(
+            PaganiConfig(rel_tol=1e-3, initial_splits=d, max_iterations=25), f6
+        )
+        rows.append(("f6_initial_splits", f"d={d}", res.converged,
+                     res.status.value, true_rel, res.nregions,
+                     res.sim_seconds * 1e3))
+
+    for margin in (1.0, 0.5, 0.25):
+        res, true_rel = _run(
+            PaganiConfig(rel_tol=1e-5, relerr_margin=margin, max_iterations=30), g
+        )
+        rows.append(("relerr_margin", str(margin), res.converged,
+                     res.status.value, true_rel, res.nregions,
+                     res.sim_seconds * 1e3))
+    return rows
+
+
+def test_ablations(benchmark):
+    rows = benchmark.pedantic(_ablation_rows, rounds=1, iterations=1)
+
+    body = [
+        [knob, value, "yes" if conv else f"DNF({status})",
+         hz.fmt_e(true_rel), nreg, f"{ms:.3g}"]
+        for knob, value, conv, status, true_rel, nreg, ms in rows
+    ]
+    hz.print_table(
+        "Design ablations",
+        ["knob", "value", "converged", "true rel err", "regions", "sim ms"],
+        body,
+    )
+
+    hz.RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with (hz.RESULTS_DIR / "ablations.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["knob", "value", "converged", "status", "true_rel_error",
+                    "nregions", "sim_ms"])
+        w.writerows(rows)
+
+    by = {(k, v): (c, s, t, n, ms) for k, v, c, s, t, n, ms in rows}
+
+    # every error model converges on the Gaussian; four_difference is the
+    # most expensive (most conservative), cascade no cheaper than two_rule
+    for model in ("cascade", "two_rule", "four_difference"):
+        assert by[("error_model", model)][0], model
+    assert (
+        by[("error_model", "four_difference")][3]
+        >= by[("error_model", "two_rule")][3]
+    )
+
+    # alignment ablation: d=10 converges f6 where d=4 fails (or needs far
+    # more regions)
+    aligned = by[("f6_initial_splits", "d=10")]
+    misaligned = by[("f6_initial_splits", "d=4")]
+    assert aligned[0], "aligned split must converge f6 at 3 digits"
+    assert (not misaligned[0]) or misaligned[3] > aligned[3]
+
+    # margins: all converge; tighter margins never reduce the region count
+    for margin in ("1.0", "0.5", "0.25"):
+        assert by[("relerr_margin", margin)][0]

@@ -1,0 +1,115 @@
+"""Figure 2 — sub-region tree shapes of Cuhre, two-phase, and PAGANI.
+
+The paper's schematic contrasts three trees after seven "iterations":
+Cuhre's is narrow and deep (one leaf extended per step), the breadth-first
+methods are wide and shallow, and PAGANI prunes finished branches more
+aggressively (the yellow nodes: threshold-classified).  We reproduce it
+quantitatively: iteration-capped runs of all three methods on a common
+integrand, reporting regions evaluated per tree depth.
+
+Writes ``results/fig2_tree_shape.csv``.
+"""
+
+import csv
+import heapq
+
+import numpy as np
+
+import harness as hz
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
+from repro.cubature.evaluation import evaluate_regions
+from repro.cubature.rules import get_rule
+from repro.diagnostics.tree import cuhre_tree_shape, tree_shape_from_trace
+from repro.integrands.base import Integrand
+
+ITERATIONS = 7
+
+
+def _integrand() -> Integrand:
+    def fn(x):
+        return np.exp(-50.0 * np.sum((x - 0.4) ** 2, axis=1))
+
+    return Integrand(fn=fn, ndim=3, name="3D offset gaussian", flops_per_eval=40.0)
+
+
+def _depth_instrumented_cuhre(f, pops: int):
+    """Sequential Cuhre recording the tree depth of every region."""
+    rule = get_rule(f.ndim)
+    c0 = np.full((1, f.ndim), 0.5)
+    h0 = np.full((1, f.ndim), 0.5)
+    ev = evaluate_regions(rule, c0, h0, f)
+    heap = [(-ev.error[0], 0, (c0[0], h0[0], int(ev.split_axis[0]), 0))]
+    depths = [0]
+    seq = 1
+    for _ in range(pops):
+        if not heap:
+            break
+        _, _, (c, h, axis, depth) = heapq.heappop(heap)
+        nh = h.copy()
+        nh[axis] *= 0.5
+        cc = np.stack([c, c])
+        cc[0, axis] -= nh[axis]
+        cc[1, axis] += nh[axis]
+        hh = np.stack([nh, nh])
+        ev = evaluate_regions(rule, cc, hh, f)
+        for i in range(2):
+            depths.append(depth + 1)
+            heapq.heappush(
+                heap,
+                (-ev.error[i], seq, (cc[i], hh[i], int(ev.split_axis[i]), depth + 1)),
+            )
+            seq += 1
+    return cuhre_tree_shape(depths)
+
+
+def _run_all():
+    f = _integrand()
+    pag = PaganiIntegrator(
+        PaganiConfig(rel_tol=1e-12, max_iterations=ITERATIONS, initial_splits=2),
+        device=hz.bench_device(),
+    ).integrate(f, f.ndim)
+    two = TwoPhaseIntegrator(
+        TwoPhaseConfig(
+            rel_tol=1e-12, max_phase1_iterations=ITERATIONS, initial_splits=2,
+        ),
+        device=hz.bench_device(),
+    ).integrate(f, f.ndim)
+    # give Cuhre the same number of evaluated regions as PAGANI's first
+    # levels would total at depth 7 in its narrow regime
+    cu_shape = _depth_instrumented_cuhre(f, pops=2**ITERATIONS)
+    return tree_shape_from_trace(pag), tree_shape_from_trace(two), cu_shape
+
+
+def test_fig2_tree_shapes(benchmark):
+    pag, two, cu = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    body = []
+    for shape in (pag, two, cu):
+        for depth, width in enumerate(shape.level_widths):
+            fin = shape.finished_per_level[depth]
+            body.append([shape.method, depth, width, fin])
+    hz.print_table(
+        "Fig. 2: regions evaluated per tree level after "
+        f"{ITERATIONS} iterations",
+        ["method", "level", "width", "finished"],
+        body,
+        paper_note="Cuhre: narrow+deep; breadth-first methods: wide+shallow "
+        "with finished nodes pruned along the way",
+    )
+
+    hz.RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with (hz.RESULTS_DIR / "fig2_tree_shape.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["method", "level", "width", "finished"])
+        w.writerows(body)
+
+    # --- shape assertions -------------------------------------------------
+    # breadth-first trees are wider than Cuhre's at max width...
+    assert pag.max_width > cu.max_width
+    assert two.max_width > cu.max_width
+    # ...while Cuhre's tree is deeper than the iteration-capped PAGANI's
+    assert cu.depth > pag.depth
+    # PAGANI levels roughly double until filtering bites
+    widths = pag.level_widths
+    assert widths[1] <= 2 * widths[0]

@@ -1,0 +1,85 @@
+"""Figure 3 — the threshold-search trace on a five-dimensional Gaussian.
+
+The paper's figure shows Algorithm 3 probing thresholds between the
+min/max error estimates: the initial (average) threshold removes a large
+fraction of regions but commits several times the error budget; the search
+walks the threshold down until both the memory requirement (>50 % removed)
+and the accuracy requirement (committed error within P_max of the budget)
+hold.
+
+This bench runs PAGANI on the 5-D Gaussian (the paper's example) on a
+memory-tight device so Threshold-Classify fires, then prints every probe:
+threshold value, % of regions removed, % of error budget consumed —
+the same three annotations as the paper's figure.
+
+Writes ``results/fig3_threshold_trace.csv``.
+"""
+
+import csv
+
+import harness as hz
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.gpu.device import DeviceSpec, VirtualDevice
+from repro.integrands.paper import f4_gaussian
+
+
+def _run_with_trace():
+    integrand = f4_gaussian(5)
+    dev = VirtualDevice(DeviceSpec.scaled(mem_mb=24, name="fig3"))
+    integ = PaganiIntegrator(
+        PaganiConfig(rel_tol=1e-6, max_iterations=30), device=dev
+    )
+    res = integ.integrate(integrand, 5)
+    return res, integ.threshold_traces
+
+
+def test_fig3_threshold_search(benchmark):
+    res, traces = benchmark.pedantic(_run_with_trace, rounds=1, iterations=1)
+
+    assert traces, "threshold classification must have been invoked"
+    # show the first successful search, like the paper's figure
+    trace = next((t for t in traces if t.success), traces[0])
+
+    body = []
+    for i, p in enumerate(trace.probes):
+        body.append(
+            [
+                i,
+                f"{p.threshold:.3e}",
+                f"{100 * p.frac_removed:.0f}%",
+                f"{100 * p.frac_error_budget:.0f}%",
+                "accepted" if p.accepted else "",
+            ]
+        )
+    hz.print_table(
+        "Fig. 3: threshold search probes (5D Gaussian)",
+        ["probe", "threshold", "% regions removed", "% error budget", ""],
+        body,
+        paper_note="starts at the average error estimate (removes ~80% but "
+        "~488% of budget), walks down to a threshold satisfying both "
+        "requirements",
+    )
+    print(
+        f"search range: min={trace.min_error:.3e} max={trace.max_error:.3e} "
+        f"budget={trace.error_budget:.3e} direction changes="
+        f"{trace.direction_changes} final P_max={trace.final_pmax:.2f}"
+    )
+
+    hz.RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with (hz.RESULTS_DIR / "fig3_threshold_trace.csv").open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["probe", "threshold", "frac_removed", "frac_budget", "accepted"])
+        for i, p in enumerate(trace.probes):
+            w.writerow([i, p.threshold, p.frac_removed, p.frac_error_budget,
+                        int(p.accepted)])
+
+    # --- shape assertions -------------------------------------------------
+    # the initial probe is the average of the active error estimates and
+    # lies within [min, max]
+    assert trace.min_error <= trace.initial_threshold <= trace.max_error
+    if trace.success:
+        final = trace.probes[-1]
+        assert final.frac_removed > 0.5  # memory requirement
+        assert final.frac_error_budget <= trace.final_pmax + 1e-12
+    # run still completes with a usable estimate
+    assert res.estimate > 0

@@ -1,0 +1,74 @@
+"""Figure 4 — true relative error vs user-specified digits of precision.
+
+Paper's observations reproduced here:
+
+* PAGANI and Cuhre generally land below the tolerance line (true error <=
+  requested), i.e. their claimed convergence is honest;
+* the two-phase method fails to integrate 5D f4 and 6D f6 beyond modest
+  digit counts because poor load-balancing exhausts its allocated memory
+  (on our memory-scaled device the failure digit shifts down
+  proportionally — the *ordering* two_phase < pagani is the reproduced
+  shape);
+* 8D f7 is comparatively easy and all parallel methods track each other.
+
+Writes ``results/fig4_accuracy.csv``.
+"""
+
+import math
+
+import harness as hz
+
+
+def _fig4_rows():
+    rows = hz.main_sweep()
+    hz.write_csv(rows, "fig4_accuracy.csv")
+    return rows
+
+
+def test_fig4_accuracy(benchmark):
+    rows = benchmark.pedantic(_fig4_rows, rounds=1, iterations=1)
+
+    body = []
+    for r in rows:
+        tol = 10.0**-r.digits
+        flag = ""
+        if not r.converged:
+            flag = f"DNF({r.status})"
+        elif r.true_rel_error > tol:
+            flag = "above-line"
+        body.append(
+            [
+                r.integrand, r.method, r.digits,
+                hz.fmt_e(tol), hz.fmt_e(r.true_rel_error), flag,
+            ]
+        )
+    hz.print_table(
+        "Fig. 4: true relative error vs requested digits",
+        ["integrand", "method", "digits", "tolerance", "true rel err", "note"],
+        body,
+        paper_note=(
+            "two-phase fails 5D f4 / 6D f6 beyond ~5 digits (memory); "
+            "PAGANI matches or exceeds every method's attainable digits"
+        ),
+    )
+
+    # --- shape assertions -------------------------------------------------
+    for name in ("5D f4", "6D f6", "8D f7"):
+        p = hz.max_converged_digits(rows, name, "pagani")
+        t = hz.max_converged_digits(rows, name, "two_phase")
+        assert p >= t, f"{name}: PAGANI ({p}) must reach >= two-phase ({t}) digits"
+
+    # converged PAGANI points are honest: true error within ~3x tolerance
+    for r in rows:
+        if r.method == "pagani" and r.converged:
+            assert r.true_rel_error <= 10.0 ** (-r.digits) * 3.0, (
+                f"{r.integrand}@{r.digits}: claimed convergence but true "
+                f"rel err {r.true_rel_error:.2e}"
+            )
+
+    # two-phase shows its signature memory failure somewhere in the sweep
+    failures = [
+        r for r in rows
+        if r.method == "two_phase" and r.status == "memory_exhausted"
+    ]
+    assert failures, "expected two-phase memory exhaustion on the hard cases"

@@ -1,0 +1,82 @@
+"""Figure 5 — execution time vs digits for PAGANI, two-phase and Cuhre.
+
+Times are the deterministic simulated device/CPU seconds from the cost
+models (see DESIGN.md): the GPU methods are charged per kernel launch with
+an occupancy-dependent throughput, Cuhre per sequential region evaluation.
+The reproduced shapes:
+
+* the parallel methods are orders of magnitude faster than Cuhre once the
+  integrand needs serious subdivision, and the gap widens with digits;
+* PAGANI and two-phase are comparable at low precision (phase II barely
+  runs), with PAGANI ahead where phase II dominates;
+* series end early (DNF) exactly where Fig. 4 showed failures.
+
+Reuses the Fig. 4 sweep (the paper's figures share runs the same way).
+Writes ``results/fig5_time.csv``.
+"""
+
+import harness as hz
+
+
+def _fig5_rows():
+    rows = hz.main_sweep()
+    hz.write_csv(rows, "fig5_time.csv")
+    return rows
+
+
+def test_fig5_time(benchmark):
+    rows = benchmark.pedantic(_fig5_rows, rounds=1, iterations=1)
+
+    body = []
+    for name in hz.sweep_integrands():
+        for digits in hz.digits_for(name):
+            row = [name, digits]
+            for method in ("pagani", "two_phase", "cuhre"):
+                match = [
+                    r for r in hz.select(rows, name, method) if r.digits == digits
+                ]
+                if match and match[0].converged:
+                    row.append(f"{match[0].sim_ms:.3g}")
+                elif match:
+                    row.append(f"DNF({match[0].sim_ms:.3g})")
+                else:
+                    row.append("-")
+            body.append(row)
+    hz.print_table(
+        "Fig. 5: simulated execution time (ms) vs digits",
+        ["integrand", "digits", "pagani", "two_phase", "cuhre"],
+        body,
+        paper_note="parallel methods orders of magnitude below Cuhre on "
+        "challenging integrands; gap grows with precision",
+    )
+
+    # --- shape assertions -------------------------------------------------
+    for name in hz.sweep_integrands():
+        pag = {r.digits: r for r in hz.select(rows, name, "pagani")}
+        cu = {r.digits: r for r in hz.select(rows, name, "cuhre")}
+        shared = [
+            d for d in pag
+            if d in cu and pag[d].converged and cu[d].converged
+        ]
+        if not shared:
+            continue
+        top = max(shared)
+        # at the highest shared precision the GPU method wins, by a growing
+        # factor
+        assert pag[top].sim_ms < cu[top].sim_ms, name
+        if len(shared) >= 2:
+            lo = min(shared)
+            ratio_lo = cu[lo].sim_ms / pag[lo].sim_ms
+            ratio_hi = cu[top].sim_ms / pag[top].sim_ms
+            assert ratio_hi >= 0.5 * ratio_lo, (
+                f"{name}: speedup should not collapse with precision "
+                f"({ratio_lo:.1f}x -> {ratio_hi:.1f}x)"
+            )
+
+    # PAGANI times grow monotonically-ish with digits (more work for more
+    # precision)
+    for name in hz.sweep_integrands():
+        series = sorted(hz.select(rows, name, "pagani"), key=lambda r: r.digits)
+        conv = [r for r in series if r.converged]
+        for a, b in zip(conv, conv[1:]):
+            assert b.sim_ms >= 0.5 * a.sim_ms, name

@@ -1,0 +1,61 @@
+"""Figure 6 — PAGANI speedup over Cuhre (left) and over two-phase (right).
+
+Paper's shapes: speedup over Cuhre starts ~15x at low digits and climbs
+into the thousands as precision grows; speedup over two-phase is modest
+(up to ~15x) and the interesting signal is the squares — digit levels only
+PAGANI satisfies.  Here a "square" prints as ``only-PAGANI``.
+
+Writes ``results/fig6_speedup.csv``.
+"""
+
+import csv
+
+import harness as hz
+
+
+def _fig6_rows():
+    rows = hz.speedup_sweep()
+    hz.write_csv(rows, "fig6_speedup.csv")
+    return rows
+
+
+def test_fig6_speedup(benchmark):
+    rows = benchmark.pedantic(_fig6_rows, rounds=1, iterations=1)
+
+    body = []
+    speedups_cuhre = {}
+    for name in hz.speedup_integrands():
+        pag = {r.digits: r for r in hz.select(rows, name, "pagani")}
+        for other in ("cuhre", "two_phase"):
+            oth = {r.digits: r for r in hz.select(rows, name, other)}
+            for digits in sorted(pag):
+                p, o = pag[digits], oth.get(digits)
+                if o is None or not p.converged:
+                    continue
+                if not o.converged:
+                    body.append([name, other, digits, "-", "only-PAGANI"])
+                    continue
+                s = o.sim_ms / p.sim_ms
+                if other == "cuhre":
+                    speedups_cuhre.setdefault(name, []).append((digits, s))
+                body.append([name, other, digits, f"{s:.1f}x", ""])
+    hz.print_table(
+        "Fig. 6: PAGANI speedup over baselines (simulated time)",
+        ["integrand", "baseline", "digits", "speedup", "note"],
+        body,
+        paper_note="~15x..1000x over Cuhre growing with digits; 1-15x over "
+        "two-phase; squares = only PAGANI converges",
+    )
+
+    # --- shape assertions -------------------------------------------------
+    # speedup over Cuhre is large and grows with digits where both converge
+    for name, series in speedups_cuhre.items():
+        series.sort()
+        assert series[-1][1] > 3.0, f"{name}: expected clear speedup over Cuhre"
+        if len(series) >= 2:
+            assert series[-1][1] >= series[0][1] * 0.5, name
+
+    # at least one only-PAGANI point must appear (the paper's squares)
+    assert any(r[4] == "only-PAGANI" for r in body), (
+        "expected digit levels only PAGANI satisfies"
+    )

@@ -1,0 +1,88 @@
+"""Figure 7 — PAGANI speedup over the quasi-Monte Carlo integrator.
+
+Paper's shapes:
+
+* PAGANI is orders of magnitude faster than QMC on the deterministic-
+  friendly integrands (peaks, corner peaks, kinks in moderate dimension);
+* the exception is the oscillatory 8D f1, where relative-error filtering
+  must be disabled (§3.5.1) and QMC reaches *more* digits than PAGANI —
+  QMC wins attainable precision there.
+
+Quick mode runs a 3-integrand subset; ``REPRO_BENCH_FULL=1`` runs all
+eight series of the figure.  Writes ``results/fig7_qmc.csv``.
+"""
+
+import harness as hz
+
+
+def _fig7_rows():
+    rows = hz.qmc_sweep()
+    hz.write_csv(rows, "fig7_qmc.csv")
+    return rows
+
+
+def test_fig7_qmc_speedup(benchmark):
+    rows = benchmark.pedantic(_fig7_rows, rounds=1, iterations=1)
+
+    body = []
+    speedups = {}
+    for name in hz.qmc_integrands():
+        pag = {r.digits: r for r in hz.select(rows, name, "pagani")}
+        qmc = {r.digits: r for r in hz.select(rows, name, "qmc")}
+        for digits in sorted(pag):
+            p, q = pag[digits], qmc.get(digits)
+            if q is None:
+                continue
+            if p.converged and q.converged:
+                s = q.sim_ms / p.sim_ms
+                speedups.setdefault(name, []).append(s)
+                body.append([name, digits, f"{s:.1f}x", ""])
+            elif p.converged:
+                body.append([name, digits, "-", "only-PAGANI"])
+            elif q.converged:
+                body.append([name, digits, "-", "only-QMC"])
+            else:
+                body.append([name, digits, "-", "neither"])
+    hz.print_table(
+        "Fig. 7: PAGANI speedup over QMC (simulated time)",
+        ["integrand", "digits", "speedup", "note"],
+        body,
+        paper_note="orders of magnitude over QMC except 8D f1, where "
+        "oscillation disables rel-err filtering and QMC attains more digits",
+    )
+
+    # --- shape assertions -------------------------------------------------
+    # The paper's orders-of-magnitude gaps appear at high digits where
+    # QMC's ~N^-1 convergence dies.  At quick-mode digits the signal is the
+    # *trend*: speedup grows with digits, and at the top of each range
+    # either PAGANI wins outright or is the only method converging.
+    for name, ss in speedups.items():
+        if "f1" in name:
+            continue
+        assert ss[-1] >= ss[0], f"{name}: speedup should grow with digits"
+        top = hz.digits_for(name)[-1]
+        p = [r for r in hz.select(rows, name, "pagani") if r.digits == top]
+        q = [r for r in hz.select(rows, name, "qmc") if r.digits == top]
+        pagani_wins_top = p and p[0].converged and (
+            not (q and q[0].converged) or q[0].sim_ms > p[0].sim_ms
+        )
+        assert pagani_wins_top, f"{name}: PAGANI must win at {top} digits"
+
+    # the oscillatory case, paper shape: QMC attains at least as many
+    # digits as PAGANI on f1.  At laptop scale 8D f1 (|I| ~ 1e-5) defeats
+    # both methods' scaled budgets (both DNF — recorded as the documented
+    # deviation in EXPERIMENTS.md); the inequality still must not invert.
+    p_dig = hz.max_converged_digits(rows, "8D f1", "pagani")
+    q_dig = hz.max_converged_digits(rows, "8D f1", "qmc")
+    assert q_dig >= p_dig, (
+        f"8D f1: QMC should reach >= PAGANI digits (qmc={q_dig}, pagani={p_dig})"
+    )
+    # PAGANI on 8D f1 must NOT claim convergence (filtering off, memory
+    # bound): an honest DNF, not a false positive
+    for r in hz.select(rows, "8D f1", "pagani"):
+        assert not r.converged
+    # the 5-D oscillatory member converges honestly for both methods
+    for method in ("pagani", "qmc"):
+        for r in hz.select(rows, "5D f1", method):
+            if r.converged:
+                assert r.true_rel_error <= 3.0 * 10.0**-r.digits

@@ -1,0 +1,65 @@
+"""Figure 9 — number of generated sub-regions per method.
+
+Region counts are hardware-independent, which makes this the cleanest
+like-for-like comparison with the paper:
+
+* PAGANI's breadth-first expansion generates more regions than Cuhre's
+  priority queue at equal digits (the paper: sometimes 100x) — the
+  trade-off its throughput wins back;
+* two-phase tracks PAGANI while phase I dominates, then freezes when it
+  fails;
+* counts grow steeply with requested digits for all methods.
+
+Reuses the Fig. 4 sweep.  Writes ``results/fig9_regions.csv``.
+"""
+
+import harness as hz
+
+
+def _fig9_rows():
+    rows = hz.main_sweep()
+    hz.write_csv(rows, "fig9_regions.csv")
+    return rows
+
+
+def test_fig9_regions(benchmark):
+    rows = benchmark.pedantic(_fig9_rows, rounds=1, iterations=1)
+
+    body = []
+    for name in hz.sweep_integrands():
+        for digits in hz.digits_for(name):
+            row = [name, digits]
+            for method in ("pagani", "two_phase", "cuhre"):
+                match = [
+                    r for r in hz.select(rows, name, method) if r.digits == digits
+                ]
+                if match:
+                    suffix = "" if match[0].converged else "*"
+                    row.append(f"{match[0].nregions}{suffix}")
+                else:
+                    row.append("-")
+            body.append(row)
+    hz.print_table(
+        "Fig. 9: generated sub-regions (* = did not converge)",
+        ["integrand", "digits", "pagani", "two_phase", "cuhre"],
+        body,
+        paper_note="PAGANI generates the most regions (breadth-first), "
+        "Cuhre the fewest; counts explode with digits",
+    )
+
+    # --- shape assertions -------------------------------------------------
+    for name in hz.sweep_integrands():
+        pag = sorted(hz.select(rows, name, "pagani"), key=lambda r: r.digits)
+        conv = [r for r in pag if r.converged]
+        # counts non-decreasing with digits
+        for a, b in zip(conv, conv[1:]):
+            assert b.nregions >= a.nregions, name
+        # PAGANI >= Cuhre region count at equal converged digits
+        cu = {r.digits: r for r in hz.select(rows, name, "cuhre")}
+        for r in conv:
+            o = cu.get(r.digits)
+            if o is not None and o.converged:
+                assert r.nregions >= 0.3 * o.nregions, (
+                    f"{name}@{r.digits}: breadth-first should not generate "
+                    "dramatically fewer regions than the priority queue"
+                )

@@ -1,0 +1,94 @@
+"""Wall-clock microbenchmarks of the computational kernels.
+
+Unlike the figure reproductions (which report deterministic *simulated*
+time), these time the actual Python/NumPy implementations with
+pytest-benchmark — the vectorised evaluate sweep is the reproduction's real
+"GPU kernel", and its host throughput is what bounds every experiment's
+wall time.  Also contrasts the batched sweep against per-region evaluation
+(the vectorisation win the HPC guides prescribe) and times the classification
+and split kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import rel_err_classify, threshold_classify
+from repro.core.regions import RegionStore
+from repro.cubature.evaluation import evaluate_regions
+from repro.cubature.rules import get_rule
+from repro.integrands.paper import f4_gaussian, f7_box11
+
+BATCH = 4096
+
+
+def _regions(ndim, m, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.2, 0.8, size=(m, ndim))
+    halfw = rng.uniform(0.01, 0.05, size=(m, ndim))
+    return centers, halfw
+
+
+@pytest.mark.parametrize("ndim", [5, 8])
+def test_evaluate_batch_throughput(benchmark, ndim):
+    """Regions/second of the batched evaluate sweep."""
+    rule = get_rule(ndim)
+    integrand = f4_gaussian(ndim)
+    centers, halfw = _regions(ndim, BATCH)
+    result = benchmark(
+        lambda: evaluate_regions(rule, centers, halfw, integrand)
+    )
+    assert result.estimate.shape == (BATCH,)
+
+
+def test_evaluate_single_region_overhead(benchmark):
+    """Per-region cost when batching is NOT used (the anti-pattern)."""
+    ndim = 5
+    rule = get_rule(ndim)
+    integrand = f4_gaussian(ndim)
+    centers, halfw = _regions(ndim, 1)
+    benchmark(lambda: evaluate_regions(rule, centers, halfw, integrand))
+
+
+def test_integrand_evaluation_throughput(benchmark):
+    """Raw integrand throughput (points/second) for the 8D box integrand."""
+    integrand = f7_box11(8)
+    pts = np.random.default_rng(1).random((200_000, 8))
+    benchmark(lambda: integrand(pts))
+
+
+def test_classify_kernel(benchmark):
+    rng = np.random.default_rng(2)
+    v = rng.normal(size=500_000)
+    e = np.abs(rng.normal(size=500_000)) * 1e-6
+    benchmark(lambda: rel_err_classify(v, e, 1e-6))
+
+
+def test_threshold_search_kernel(benchmark):
+    rng = np.random.default_rng(3)
+    e = rng.lognormal(mean=-10, sigma=3, size=500_000)
+    active = np.ones(e.size, dtype=bool)
+    e_tot = float(e.sum())
+    benchmark(
+        lambda: threshold_classify(active, e, 1.0, e_tot, 1e-4)
+    )
+
+
+def test_split_kernel(benchmark):
+    def setup():
+        store = RegionStore.uniform_split(np.array([[0.0, 1.0]] * 5), 8)
+        store.estimate = np.zeros(store.size)
+        store.split_axis = np.random.default_rng(4).integers(0, 5, store.size)
+        return (store,), {}
+
+    benchmark.pedantic(lambda s: s.split(), setup=setup, rounds=20)
+
+
+def test_filter_kernel(benchmark):
+    def setup():
+        store = RegionStore.uniform_split(np.array([[0.0, 1.0]] * 5), 8)
+        store.estimate = np.zeros(store.size)
+        store.error = np.zeros(store.size)
+        keep = np.random.default_rng(5).random(store.size) < 0.5
+        return (store, keep), {}
+
+    benchmark.pedantic(lambda s, k: s.filter(k), setup=setup, rounds=20)

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Adds the ``benchmarks`` directory to ``sys.path`` so the bench modules can
+import the shared ``harness`` module regardless of invocation directory.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,402 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every figure in the paper's evaluation section has a ``bench_figN_*.py``
+module that regenerates the corresponding series.  This module provides:
+
+* quick/full mode switching (``REPRO_BENCH_FULL=1`` extends the digit
+  sweeps toward the paper's ranges; the default quick mode keeps the whole
+  suite laptop-friendly),
+* a sweep runner executing (integrand × method × digits) grids with the
+  scaled virtual device, cached across benchmark modules (Figs. 4, 5, 6
+  and 9 are different projections of the same sweep — the paper's own
+  figures share runs the same way),
+* result rows, CSV artifact writing into ``benchmarks/results/``, and
+  aligned text tables printed with a paper-vs-measured header.
+
+Times reported for GPU methods are the *simulated* device seconds (so the
+series are deterministic and hardware independent); Cuhre is charged to the
+CPU cost model.  Wall-clock timing of the underlying Python kernels is
+measured separately by pytest-benchmark in ``bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
+from repro.baselines.qmc import QmcConfig, QmcIntegrator
+from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.core.result import IntegrationResult
+from repro.gpu.device import DeviceSpec, VirtualDevice
+from repro.integrands.base import Integrand
+from repro.integrands.paper import (
+    f1_oscillatory,
+    f3_corner_peak,
+    f4_gaussian,
+    f5_c0,
+    f6_discontinuous,
+    f7_box11,
+    f8_box15,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: device memory for the GPU methods in benchmarks.  The paper's V100 has
+#: 16 GiB; Python wall-clock cannot reach the region counts 16 GiB admits,
+#: so the benches run a memory-scaled V100 — every memory-driven phenomenon
+#: (two-phase failure digits, PAGANI threshold filtering) appears at
+#: proportionally lower digit counts with the *ordering* preserved.
+BENCH_DEVICE_MB = 192
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+def bench_device() -> VirtualDevice:
+    return VirtualDevice(DeviceSpec.scaled(mem_mb=BENCH_DEVICE_MB))
+
+
+# ---------------------------------------------------------------------------
+# Integrand catalogue for the sweeps
+# ---------------------------------------------------------------------------
+def sweep_integrands() -> Dict[str, Integrand]:
+    """The three integrand/dimension combos the paper's Figs. 4, 5, 9 use."""
+    f6 = f6_discontinuous(6)
+    return {
+        "5D f4": f4_gaussian(5),
+        "6D f6": f6,
+        "8D f7": f7_box11(8),
+    }
+
+
+def speedup_integrands() -> Dict[str, Integrand]:
+    """Fig. 6 combos."""
+    return {
+        "5D f5": f5_c0(5),
+        "6D f6": f6_discontinuous(6),
+        "8D f7": f7_box11(8),
+    }
+
+
+def qmc_integrands() -> Dict[str, Integrand]:
+    """Fig. 7 combos (quick subset; full mode adds the rest).
+
+    5D f1 is an addition to the paper's set: at laptop scale the 8D f1
+    integral (|I| ~ 1e-5) is beyond both methods' scaled budgets, so the
+    5-D member demonstrates the oscillatory/filtering-off behaviour while
+    8D f1 documents the double-DNF (see EXPERIMENTS.md).
+    """
+    base = {
+        "3D f3": f3_corner_peak(3),
+        "5D f5": f5_c0(5),
+        "5D f1": f1_oscillatory(5),
+        "8D f1": f1_oscillatory(8),
+    }
+    if full_mode():
+        base.update(
+            {
+                "6D f6": f6_discontinuous(6),
+                "8D f3": f3_corner_peak(8),
+                "8D f5": f5_c0(8),
+                "8D f7": f7_box11(8),
+                "8D f8": f8_box15(8),
+            }
+        )
+    return base
+
+
+#: per-integrand digit ranges (quick / full).  The paper sweeps 3..10-11 on
+#: a 16 GiB V100 + C implementations; the quick ranges keep wall time sane
+#: while preserving every qualitative transition the figures show.
+QUICK_DIGITS = {
+    "5D f4": [3, 4, 5],
+    "6D f6": [3, 4],
+    "8D f7": [3, 4],
+    "5D f5": [3, 4, 5],
+    "3D f3": [3, 4, 5, 6],
+    "5D f1": [3, 4, 5],
+    "8D f1": [3, 4],
+    "8D f3": [3, 4],
+    "8D f5": [3, 4],
+    "8D f8": [3, 4],
+}
+FULL_DIGITS = {
+    "5D f1": [3, 4, 5, 6],
+    "5D f4": [3, 4, 5, 6, 7],
+    "6D f6": [3, 4, 5, 6, 7],
+    "8D f7": [3, 4, 5, 6],
+    "5D f5": [3, 4, 5, 6],
+    "3D f3": [3, 4, 5, 6, 7, 8],
+    "8D f1": [3, 4, 5],
+    "8D f3": [3, 4, 5],
+    "8D f5": [3, 4, 5],
+    "8D f8": [3, 4, 5],
+}
+
+#: f6's cut planes sit on multiples of 0.1, so a 10-per-axis initial split
+#: makes every region boundary-aligned (no cell ever straddles the
+#: discontinuity).  The paper does not state its initial split; alignment
+#: is the only regime in which its reported 10+ digit convergence on f6 is
+#: reachable at all (see EXPERIMENTS.md).
+INITIAL_SPLITS = {"6D f6": 10}
+
+#: Cuhre evaluation budget in quick mode (paper: 1e9; DNF is reported the
+#: same way the paper reports non-converging runs).
+CUHRE_QUICK_MAX_EVAL = 8_000_000
+CUHRE_FULL_MAX_EVAL = 100_000_000
+
+
+def digits_for(name: str) -> List[int]:
+    table = FULL_DIGITS if full_mode() else QUICK_DIGITS
+    return table.get(name, [3, 4, 5])
+
+
+# ---------------------------------------------------------------------------
+# Sweep rows
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepRow:
+    integrand: str
+    method: str
+    digits: int
+    converged: bool
+    status: str
+    estimate: float
+    errorest: float
+    true_rel_error: float
+    sim_ms: float
+    nregions: int
+    neval: int
+
+
+def _run_method(
+    method: str, integrand: Integrand, tau_rel: float, initial_splits: Optional[int]
+) -> IntegrationResult:
+    filtering = integrand.sign_definite
+    if method == "pagani":
+        cfg = PaganiConfig(
+            rel_tol=tau_rel,
+            relerr_filtering=filtering,
+            max_iterations=35,
+        )
+        if initial_splits is not None:
+            cfg.initial_splits = initial_splits
+        return PaganiIntegrator(cfg, device=bench_device()).integrate(
+            integrand, integrand.ndim
+        )
+    if method == "two_phase":
+        cfg = TwoPhaseConfig(
+            rel_tol=tau_rel,
+            relerr_filtering=filtering,
+            max_phase1_iterations=35,
+        )
+        if initial_splits is not None:
+            cfg.initial_splits = initial_splits
+        return TwoPhaseIntegrator(cfg, device=bench_device()).integrate(
+            integrand, integrand.ndim
+        )
+    if method == "cuhre":
+        budget = CUHRE_FULL_MAX_EVAL if full_mode() else CUHRE_QUICK_MAX_EVAL
+        cfg = CuhreConfig(rel_tol=tau_rel, max_eval=budget)
+        return CuhreIntegrator(cfg).integrate(integrand, integrand.ndim)
+    if method == "qmc":
+        budget = 500_000_000 if full_mode() else 40_000_000
+        cfg = QmcConfig(rel_tol=tau_rel, max_eval=budget)
+        return QmcIntegrator(cfg, device=bench_device()).integrate(
+            integrand, integrand.ndim
+        )
+    raise ValueError(method)
+
+
+def run_sweep(
+    integrands: Dict[str, Integrand],
+    methods: Sequence[str],
+    digits_override: Optional[Dict[str, List[int]]] = None,
+) -> List[SweepRow]:
+    rows: List[SweepRow] = []
+    for name, integrand in integrands.items():
+        digit_list = (digits_override or {}).get(name) or digits_for(name)
+        splits = INITIAL_SPLITS.get(name)
+        for digits in digit_list:
+            tau = 10.0**-digits
+            for method in methods:
+                res = _run_method(method, integrand, tau, splits)
+                true_rel = (
+                    abs(res.estimate - integrand.reference)
+                    / abs(integrand.reference)
+                    if integrand.reference
+                    else float("nan")
+                )
+                rows.append(
+                    SweepRow(
+                        integrand=name,
+                        method=method,
+                        digits=digits,
+                        converged=res.converged,
+                        status=res.status.value,
+                        estimate=res.estimate,
+                        errorest=res.errorest,
+                        true_rel_error=true_rel,
+                        sim_ms=res.sim_seconds * 1e3,
+                        nregions=res.nregions,
+                        neval=res.neval,
+                    )
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Cross-module sweep cache (Figs. 4/5/6/9 share runs)
+#
+# Two layers: an in-process dict (one pytest invocation runs every bench
+# module in a single process) and a JSON file under results/ keyed by the
+# sweep configuration, so iterating on bench code does not recompute the
+# multi-minute sweeps.  Delete results/sweep_cache_*.json to force a rerun.
+# ---------------------------------------------------------------------------
+_SWEEP_CACHE: Dict[str, List[SweepRow]] = {}
+
+
+def _cache_path(key: str) -> Path:
+    mode = "full" if full_mode() else "quick"
+    return RESULTS_DIR / f"sweep_cache_{key}_{mode}_{BENCH_DEVICE_MB}mb.json"
+
+
+def _load_cached(key: str) -> Optional[List[SweepRow]]:
+    import json
+
+    path = _cache_path(key)
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return [SweepRow(**row) for row in data]
+
+
+def _store_cached(key: str, rows: List[SweepRow]) -> None:
+    import dataclasses
+    import json
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    _cache_path(key).write_text(
+        json.dumps([dataclasses.asdict(r) for r in rows])
+    )
+
+
+def _cached_sweep(key: str, compute) -> List[SweepRow]:
+    if key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+    rows = _load_cached(key)
+    if rows is None:
+        rows = compute()
+        _store_cached(key, rows)
+    _SWEEP_CACHE[key] = rows
+    return rows
+
+
+def main_sweep() -> List[SweepRow]:
+    """The Fig. 4/5/9 sweep: 3 integrands × {pagani, two_phase, cuhre}."""
+    return _cached_sweep(
+        "main",
+        lambda: run_sweep(sweep_integrands(), ("pagani", "two_phase", "cuhre")),
+    )
+
+
+def speedup_sweep() -> List[SweepRow]:
+    """The Fig. 6 sweep.  6D f6 and 8D f7 overlap with the main sweep, so
+    those rows are reused (the paper's figures share runs the same way) and
+    only 5D f5 is computed fresh."""
+
+    def compute() -> List[SweepRow]:
+        main_rows = main_sweep()
+        shared = {"6D f6", "8D f7"}
+        fresh = {
+            k: v for k, v in speedup_integrands().items() if k not in shared
+        }
+        rows = [r for r in main_rows if r.integrand in shared]
+        rows += run_sweep(fresh, ("pagani", "two_phase", "cuhre"))
+        return rows
+
+    return _cached_sweep("speedup", compute)
+
+
+def qmc_sweep() -> List[SweepRow]:
+    """The Fig. 7 sweep: PAGANI vs QMC."""
+    return _cached_sweep(
+        "qmc_v2", lambda: run_sweep(qmc_integrands(), ("pagani", "qmc"))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+def write_csv(rows: Iterable[SweepRow], filename: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    rows = list(rows)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "integrand", "method", "digits", "converged", "status",
+                "estimate", "errorest", "true_rel_error", "sim_ms",
+                "nregions", "neval",
+            ]
+        )
+        for r in rows:
+            writer.writerow(
+                [
+                    r.integrand, r.method, r.digits, int(r.converged),
+                    r.status, f"{r.estimate:.15g}", f"{r.errorest:.6g}",
+                    f"{r.true_rel_error:.6g}", f"{r.sim_ms:.6g}",
+                    r.nregions, r.neval,
+                ]
+            )
+    return path
+
+
+def print_table(title: str, header: Sequence[str], body: Sequence[Sequence[str]],
+                paper_note: str = "") -> None:
+    print(f"\n=== {title} ===")
+    if paper_note:
+        print(f"paper: {paper_note}")
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in body)) if body else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in body:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def select(rows: Iterable[SweepRow], integrand: str, method: str) -> List[SweepRow]:
+    return [r for r in rows if r.integrand == integrand and r.method == method]
+
+
+def max_converged_digits(rows: Iterable[SweepRow], integrand: str, method: str) -> int:
+    """Highest digit count at which the method both converged and was
+    truthful (true error within 3x of the tolerance)."""
+    best = 0
+    for r in select(rows, integrand, method):
+        if r.converged and (
+            math.isnan(r.true_rel_error)
+            or r.true_rel_error <= 3.0 * 10.0**-r.digits
+        ):
+            best = max(best, r.digits)
+    return best
+
+
+def fmt_e(x: float) -> str:
+    return f"{x:.2e}" if np.isfinite(x) else "-"

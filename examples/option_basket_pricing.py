@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Risk-neutral pricing of a basket call option by deterministic cubature.
+
+Finance is the paper's first motivating domain: option prices are
+expectations over multi-dimensional log-normal asset distributions.  The
+payoff ``max(mean(S_T) − K, 0)`` has a *kink* along a curved surface (the
+at-the-money manifold), which defeats fixed product rules and rewards
+adaptive subdivision concentrated along the kink.
+
+We map the Gaussian expectation onto the unit cube with the inverse-normal
+transform and price a 5-asset basket call with PAGANI, the sequential Cuhre
+baseline and QMC — QMC is competitive here (kinks hurt cubature), which
+mirrors the paper's honest framing that no method dominates everywhere.
+
+Run:  python examples/option_basket_pricing.py
+"""
+
+import numpy as np
+from scipy.special import ndtri  # inverse standard-normal CDF
+
+from repro import integrate
+from repro.integrands import Integrand
+
+N_ASSETS = 5
+SPOT = 100.0
+STRIKE = 105.0
+RATE = 0.03
+VOL = 0.25
+CORR = 0.4
+MATURITY = 1.0
+
+
+def _chol() -> np.ndarray:
+    cov = np.full((N_ASSETS, N_ASSETS), CORR * VOL * VOL)
+    np.fill_diagonal(cov, VOL * VOL)
+    return np.linalg.cholesky(cov * MATURITY)
+
+
+_L = _chol()
+_DRIFT = (RATE - 0.5 * VOL * VOL) * MATURITY
+
+
+def payoff_on_cube(u: np.ndarray) -> np.ndarray:
+    """Discounted basket-call payoff after mapping [0,1]^5 -> N(0, Σ).
+
+    Points are clipped one ulp inside the open cube before the
+    inverse-normal map; the Genz–Malik points never sit exactly on the
+    boundary, so the clip only guards against rounding.
+    """
+    eps = 1e-15
+    z = ndtri(np.clip(u, eps, 1.0 - eps))
+    log_s = np.log(SPOT) + _DRIFT + z @ _L.T
+    basket = np.mean(np.exp(log_s), axis=1)
+    return np.exp(-RATE * MATURITY) * np.maximum(basket - STRIKE, 0.0)
+
+
+def reference_price(n: int = 2_000_000, seed: int = 7) -> tuple[float, float]:
+    """Brute-force Monte Carlo reference with its standard error."""
+    rng = np.random.default_rng(seed)
+    z = rng.standard_normal((n, N_ASSETS))
+    log_s = np.log(SPOT) + _DRIFT + z @ _L.T
+    basket = np.mean(np.exp(log_s), axis=1)
+    pay = np.exp(-RATE * MATURITY) * np.maximum(basket - STRIKE, 0.0)
+    return float(np.mean(pay)), float(np.std(pay) / np.sqrt(n))
+
+
+def main() -> None:
+    mc_price, mc_se = reference_price()
+    print(f"Monte Carlo reference price: {mc_price:.4f} ± {mc_se:.4f} (1σ)\n")
+
+    integrand = Integrand(
+        fn=payoff_on_cube,
+        ndim=N_ASSETS,
+        name="5-asset basket call",
+        flops_per_eval=250.0,  # ndtri + matmul + exp per point
+        sign_definite=True,
+    )
+
+    print(f"{'method':<10} {'price':>10} {'est.err':>10} {'evals':>12} "
+          f"{'sim ms':>10} {'status':>18}")
+    for method in ("pagani", "cuhre", "qmc"):
+        res = integrate(
+            integrand, N_ASSETS, rel_tol=2e-4, method=method,
+            max_eval=30_000_000,
+        )
+        print(
+            f"{method:<10} {res.estimate:>10.4f} {res.errorest:>10.2e} "
+            f"{res.neval:>12} {res.sim_seconds * 1e3:>10.3f} "
+            f"{res.status.value:>18}"
+        )
+        gap = abs(res.estimate - mc_price)
+        print(f"{'':<10} vs MC: {gap:.4f} ({gap / max(mc_se, 1e-12):.1f}σ of the MC error)")
+
+
+if __name__ == "__main__":
+    main()

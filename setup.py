@@ -1,0 +1,11 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` on modern pip builds an editable wheel, which requires
+the third-party `wheel` module; when it is unavailable this shim lets
+`python setup.py develop` perform a legacy editable install with only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""pagani-repro: reproduction of *PAGANI: A Parallel Adaptive GPU Algorithm
+for Numerical Integration* (Sakiotis et al., SC 2021) on a simulated GPU
+substrate.
+
+Quick start::
+
+    import numpy as np
+    from repro import integrate
+
+    def f(x):                       # batch integrand: (N, ndim) -> (N,)
+        return np.exp(-np.sum(x**2, axis=1))
+
+    res = integrate(f, ndim=5, rel_tol=1e-6)
+    print(res.estimate, res.errorest, res.converged)
+
+Package map
+-----------
+``repro.core``        PAGANI itself (Algorithms 2 and 3)
+``repro.cubature``    Genz–Malik rules, batch evaluation, two-level errors
+``repro.gpu``         virtual device: cost model, memory pool, scheduler
+``repro.baselines``   sequential Cuhre, two-phase GPU method, randomized QMC
+``repro.integrands``  the paper's f1–f8 and the Genz families
+``repro.reference``   semi-analytic reference values (box integrals)
+``repro.diagnostics`` traces, tree statistics, load-imbalance reports
+"""
+
+from repro.api import integrate
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.core.result import IntegrationResult, Status
+from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
+from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
+from repro.baselines.qmc import QmcConfig, QmcIntegrator
+from repro.gpu.device import DeviceSpec, VirtualDevice
+from repro.integrands.base import Integrand, ScalarIntegrand
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "integrate",
+    "IntegrationResult",
+    "Status",
+    "PaganiConfig",
+    "PaganiIntegrator",
+    "CuhreConfig",
+    "CuhreIntegrator",
+    "TwoPhaseConfig",
+    "TwoPhaseIntegrator",
+    "QmcConfig",
+    "QmcIntegrator",
+    "DeviceSpec",
+    "VirtualDevice",
+    "Integrand",
+    "ScalarIntegrand",
+    "__version__",
+]

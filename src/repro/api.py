@@ -1,0 +1,115 @@
+"""Top-level convenience API.
+
+Most users want one call::
+
+    from repro import integrate
+    result = integrate(f, ndim=5, rel_tol=1e-6)            # PAGANI
+    result = integrate(f, ndim=5, method="cuhre")          # baseline
+
+Method-specific configuration objects remain available for full control
+(:class:`~repro.core.PaganiConfig` etc.); keyword arguments here cover the
+common knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
+from repro.baselines.qmc import QmcConfig, QmcIntegrator
+from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.core.result import IntegrationResult
+from repro.errors import ConfigurationError
+from repro.gpu.device import VirtualDevice
+
+_METHODS = ("pagani", "cuhre", "two_phase", "qmc")
+
+
+def integrate(
+    integrand: Callable[[np.ndarray], np.ndarray],
+    ndim: int,
+    bounds: Optional[Sequence[Sequence[float]]] = None,
+    rel_tol: float = 1e-3,
+    abs_tol: float = 1e-20,
+    method: str = "pagani",
+    device: Optional[VirtualDevice] = None,
+    relerr_filtering: Optional[bool] = None,
+    max_eval: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+) -> IntegrationResult:
+    """Integrate a batch callable over an axis-aligned box.
+
+    Parameters
+    ----------
+    integrand:
+        Batch callable ``(N, ndim) -> (N,)`` (wrap scalar functions with
+        :class:`~repro.integrands.ScalarIntegrand`).
+    ndim:
+        Dimensionality, 2..20 for the cubature methods.
+    bounds:
+        ``(ndim, 2)`` low/high pairs; unit cube by default.
+    rel_tol / abs_tol:
+        Termination tolerances (paper defaults: τ_abs = 1e-20 so τ_rel
+        governs).
+    method:
+        ``"pagani"`` (default), ``"cuhre"``, ``"two_phase"`` or ``"qmc"``.
+    device:
+        Virtual device for the GPU methods (memory-scaled V100 by default).
+    relerr_filtering:
+        The §3.5.1 user flag; set False for integrands that oscillate in
+        sign.  When None, it is read from the integrand's ``sign_definite``
+        attribute if present.
+    max_eval:
+        Evaluation budget for cuhre/qmc.
+    max_iterations:
+        Iteration cap for the breadth-first methods.
+
+    Returns
+    -------
+    IntegrationResult
+        With ``true_value`` filled in when the integrand carries a
+        ``reference`` attribute.
+    """
+    if method not in _METHODS:
+        raise ConfigurationError(f"unknown method {method!r}; pick one of {_METHODS}")
+    if relerr_filtering is None:
+        relerr_filtering = bool(getattr(integrand, "sign_definite", True))
+
+    if method == "pagani":
+        cfg = PaganiConfig(
+            rel_tol=rel_tol, abs_tol=abs_tol, relerr_filtering=relerr_filtering
+        )
+        if max_iterations is not None:
+            cfg.max_iterations = max_iterations
+        result = PaganiIntegrator(cfg, device=device).integrate(
+            integrand, ndim, bounds=bounds
+        )
+    elif method == "cuhre":
+        cfg = CuhreConfig(rel_tol=rel_tol, abs_tol=abs_tol)
+        if max_eval is not None:
+            cfg.max_eval = max_eval
+        result = CuhreIntegrator(cfg).integrate(integrand, ndim, bounds=bounds)
+    elif method == "two_phase":
+        cfg = TwoPhaseConfig(
+            rel_tol=rel_tol, abs_tol=abs_tol, relerr_filtering=relerr_filtering
+        )
+        if max_iterations is not None:
+            cfg.max_phase1_iterations = max_iterations
+        result = TwoPhaseIntegrator(cfg, device=device).integrate(
+            integrand, ndim, bounds=bounds
+        )
+    else:  # qmc
+        cfg = QmcConfig(rel_tol=rel_tol, abs_tol=abs_tol)
+        if max_eval is not None:
+            cfg.max_eval = max_eval
+        result = QmcIntegrator(cfg, device=device).integrate(
+            integrand, ndim, bounds=bounds
+        )
+
+    ref = getattr(integrand, "reference", None)
+    if ref is not None:
+        result.true_value = float(ref)
+    return result

@@ -1,0 +1,29 @@
+"""Comparison methods from the paper's evaluation.
+
+* :mod:`~repro.baselines.cuhre` — sequential Cuhre (Cuba 4.0 semantics):
+  priority-queue driven, one split per step, same Genz–Malik rules and
+  two-level error as PAGANI, charged to a CPU cost model.
+* :mod:`~repro.baselines.two_phase` — the two-phase GPU method of Arumugam
+  et al. [12][15]: breadth-first phase I (relative-error filtering only, no
+  two-level refinement), then per-block sequential Cuhre in phase II with a
+  fixed region budget per block, scheduled onto SM slots.
+* :mod:`~repro.baselines.qmc` — randomized quasi-Monte Carlo (scrambled
+  Sobol / rotated Halton) with a statistical error estimate, standing in
+  for the GPU QMC integrator of Borowka et al. [27].
+"""
+
+from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
+from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
+from repro.baselines.qmc import QmcConfig, QmcIntegrator
+from repro.baselines.vegas import VegasConfig, VegasIntegrator
+
+__all__ = [
+    "CuhreConfig",
+    "CuhreIntegrator",
+    "TwoPhaseConfig",
+    "TwoPhaseIntegrator",
+    "QmcConfig",
+    "QmcIntegrator",
+    "VegasConfig",
+    "VegasIntegrator",
+]

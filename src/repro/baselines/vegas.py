@@ -1,0 +1,194 @@
+"""VEGAS-style adaptive importance-sampling Monte Carlo.
+
+The paper's background cites the Cuba library's Monte Carlo methods (Vegas,
+Suave, Divonne) and reports that deterministic Cuhre consistently beats them
+at moderate dimension — this module provides the representative member so
+that claim can be exercised inside the reproduction, too.
+
+Classic VEGAS (Lepage 1980): a separable importance grid with ``n_bins``
+bins per axis is adapted over several passes; each pass samples from the
+grid, estimates the integral by importance weighting, and flattens/sharpens
+the bin boundaries toward equal contribution.  The final estimate combines
+passes by inverse-variance weighting; the error estimate is the combined
+standard error (plus the χ² consistency diagnostic VEGAS is known for).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import IntegrationResult, Status
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec, VirtualDevice
+
+
+@dataclass
+class VegasConfig:
+    rel_tol: float = 1e-3
+    abs_tol: float = 1e-20
+    n_bins: int = 64
+    n_iterations: int = 12
+    samples_per_iteration: int = 65536
+    #: grid-damping exponent (Lepage's alpha; 0 disables adaptation)
+    alpha: float = 1.5
+    #: discard this many warm-up passes from the estimate
+    n_warmup: int = 3
+    max_eval: int = 100_000_000
+    seed: int = 1980  # Lepage's VEGAS year
+
+    def validate(self) -> None:
+        if not (0.0 < self.rel_tol < 1.0):
+            raise ConfigurationError(f"rel_tol must be in (0, 1), got {self.rel_tol}")
+        if self.n_bins < 2:
+            raise ConfigurationError("n_bins must be >= 2")
+        if self.n_iterations <= self.n_warmup:
+            raise ConfigurationError("need more iterations than warm-up passes")
+        if self.alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+
+
+class VegasIntegrator:
+    """Separable-grid importance sampling with inverse-variance combining."""
+
+    def __init__(
+        self,
+        config: Optional[VegasConfig] = None,
+        device: Optional[VirtualDevice] = None,
+    ):
+        self.config = config or VegasConfig()
+        self.config.validate()
+        self.device = device if device is not None else VirtualDevice(DeviceSpec.scaled())
+
+    # ------------------------------------------------------------------
+    def integrate(
+        self,
+        integrand: Callable[[np.ndarray], np.ndarray],
+        ndim: int,
+        bounds: Optional[Sequence[Sequence[float]]] = None,
+        rel_tol: Optional[float] = None,
+        abs_tol: Optional[float] = None,
+        max_eval: Optional[int] = None,
+    ) -> IntegrationResult:
+        cfg = self.config
+        tau_rel = cfg.rel_tol if rel_tol is None else float(rel_tol)
+        tau_abs = cfg.abs_tol if abs_tol is None else float(abs_tol)
+        budget = cfg.max_eval if max_eval is None else int(max_eval)
+        if bounds is None:
+            bounds = [(0.0, 1.0)] * ndim
+        b = np.asarray(bounds, dtype=np.float64)
+        if b.shape != (ndim, 2):
+            raise ConfigurationError(f"bounds must have shape ({ndim}, 2)")
+        lo = b[:, 0]
+        span = b[:, 1] - lo
+        volume = float(np.prod(span))
+
+        dev = self.device
+        dev.reset_clock()
+        flops_per_eval = float(getattr(integrand, "flops_per_eval", 50.0))
+        rng = np.random.default_rng(cfg.seed)
+
+        # grid[d] holds n_bins+1 increasing knots in [0, 1] per axis
+        nb = cfg.n_bins
+        grid = np.tile(np.linspace(0.0, 1.0, nb + 1), (ndim, 1))
+
+        t0 = time.perf_counter()
+        neval = 0
+        means: list[float] = []
+        variances: list[float] = []
+        status = Status.MAX_EVALUATIONS
+        estimate = 0.0
+        errorest = float("inf")
+        it_done = 0
+
+        for it in range(cfg.n_iterations):
+            n = cfg.samples_per_iteration
+            if neval + n > budget:
+                status = Status.MAX_EVALUATIONS
+                break
+            # sample: pick a bin uniformly, then uniform inside the bin;
+            # the density is then 1/(nb * bin_width) per axis
+            bins = rng.integers(0, nb, size=(n, ndim))
+            u = rng.random((n, ndim))
+            widths = np.take_along_axis(np.diff(grid, axis=1).T, bins, axis=0)
+            lefts = np.take_along_axis(grid[:, :-1].T, bins, axis=0)
+            x01 = lefts + u * widths  # in [0,1]^n
+            weight = np.prod(nb * widths, axis=1)  # 1/pdf
+            vals = integrand(lo[None, :] + x01 * span[None, :])
+            neval += n
+            dev.charge_kernel(
+                "vegas_sample", work_items=n,
+                flops_per_item=flops_per_eval + 10.0 * ndim,
+            )
+
+            contrib = vals * weight * volume
+            mean = float(np.mean(contrib))
+            var = float(np.var(contrib) / n)
+            it_done = it + 1
+
+            # --- grid adaptation (Lepage damping) ------------------------
+            if cfg.alpha > 0:
+                f2 = (vals * weight * volume) ** 2
+                for d in range(ndim):
+                    d_acc = np.bincount(bins[:, d], weights=f2, minlength=nb)
+                    if d_acc.sum() <= 0:
+                        continue
+                    d_acc /= d_acc.sum()
+                    # smooth + damp
+                    sm = np.convolve(d_acc, [0.25, 0.5, 0.25], mode="same")
+                    sm /= sm.sum()
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        damp = np.where(
+                            sm > 0,
+                            ((1 - sm) / np.maximum(-np.log(sm), 1e-30)) ** cfg.alpha,
+                            0.0,
+                        )
+                    if damp.sum() <= 0:
+                        continue
+                    damp /= damp.sum()
+                    # rebuild knots so each new bin holds equal damped mass
+                    cdf = np.concatenate(([0.0], np.cumsum(damp)))
+                    cdf /= cdf[-1]
+                    targets = np.linspace(0.0, 1.0, nb + 1)
+                    grid[d] = np.interp(targets, cdf, grid[d])
+
+            if it < cfg.n_warmup:
+                continue  # adapt only; discard estimate
+            means.append(mean)
+            variances.append(max(var, 1e-300))
+
+            w = 1.0 / np.asarray(variances)
+            estimate = float(np.sum(w * np.asarray(means)) / np.sum(w))
+            errorest = float(np.sqrt(1.0 / np.sum(w)))
+            if errorest <= tau_abs:
+                status = Status.CONVERGED_ABS
+                break
+            if estimate != 0.0 and errorest <= tau_rel * abs(estimate):
+                status = Status.CONVERGED_REL
+                break
+
+        wall = time.perf_counter() - t0
+        return IntegrationResult(
+            estimate=estimate,
+            errorest=errorest,
+            status=status,
+            neval=neval,
+            nregions=0,
+            iterations=it_done,
+            method="vegas",
+            sim_seconds=dev.elapsed_seconds,
+            wall_seconds=wall,
+        )
+
+    def chi2_per_dof(self, means: Sequence[float], variances: Sequence[float]) -> float:
+        """VEGAS' consistency diagnostic across kept passes."""
+        m = np.asarray(means)
+        v = np.asarray(variances)
+        if m.size < 2:
+            return 0.0
+        w = 1.0 / v
+        combined = float(np.sum(w * m) / np.sum(w))
+        return float(np.sum((m - combined) ** 2 / v) / (m.size - 1))

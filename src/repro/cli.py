@@ -1,0 +1,121 @@
+"""Command-line interface.
+
+Examples
+--------
+Integrate a paper integrand with PAGANI::
+
+    pagani-repro run --integrand 8D-f7 --rel-tol 1e-6
+
+Compare all methods on one integrand::
+
+    pagani-repro compare --integrand 5D-f4 --rel-tol 1e-5
+
+List the available named integrands::
+
+    pagani-repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.api import integrate
+from repro.integrands.base import Integrand
+from repro.integrands.genz import GenzFamily, make_genz
+from repro.integrands.paper import (
+    f1_oscillatory,
+    f2_product_peak,
+    f3_corner_peak,
+    f4_gaussian,
+    f5_c0,
+    f6_discontinuous,
+    f7_box11,
+    f8_box15,
+)
+
+_FACTORIES = {
+    "f1": f1_oscillatory,
+    "f2": f2_product_peak,
+    "f3": f3_corner_peak,
+    "f4": f4_gaussian,
+    "f5": f5_c0,
+    "f6": f6_discontinuous,
+    "f7": f7_box11,
+    "f8": f8_box15,
+}
+
+
+def named_integrand(spec: str) -> Integrand:
+    """Resolve names like ``8D-f7``, ``5D-f4`` or ``6D-genz-gaussian``."""
+    parts = spec.lower().split("-")
+    if len(parts) < 2 or not parts[0].endswith("d"):
+        raise ValueError(f"cannot parse integrand spec {spec!r} (want e.g. '8D-f7')")
+    ndim = int(parts[0][:-1])
+    key = parts[1]
+    if key == "genz":
+        if len(parts) != 3:
+            raise ValueError("genz spec is '<n>D-genz-<family>'")
+        return make_genz(GenzFamily(parts[2]), ndim)
+    if key not in _FACTORIES:
+        raise ValueError(f"unknown integrand {key!r}; options: {sorted(_FACTORIES)}")
+    return _FACTORIES[key](ndim)
+
+
+def _print_result(res, truth: Optional[float]) -> None:
+    print(res)
+    if truth is not None and truth != 0.0:
+        print(f"  true value     : {truth:.12g}")
+        print(f"  true rel error : {abs(res.estimate - truth) / abs(truth):.3e}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="pagani-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="integrate with one method")
+    run.add_argument("--integrand", required=True, help="e.g. 8D-f7, 6D-genz-gaussian")
+    run.add_argument("--method", default="pagani",
+                     choices=["pagani", "cuhre", "two_phase", "qmc"])
+    run.add_argument("--rel-tol", type=float, default=1e-3)
+    run.add_argument("--abs-tol", type=float, default=1e-20)
+    run.add_argument("--max-eval", type=int, default=None)
+
+    comp = sub.add_parser("compare", help="run all methods on one integrand")
+    comp.add_argument("--integrand", required=True)
+    comp.add_argument("--rel-tol", type=float, default=1e-3)
+    comp.add_argument("--max-eval", type=int, default=50_000_000)
+
+    sub.add_parser("list", help="list named integrands")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for key in sorted(_FACTORIES):
+            print(f"  <n>D-{key}   e.g. 8D-{key}")
+        print("  <n>D-genz-<family> with family in "
+              f"{[f.value for f in GenzFamily]}")
+        return 0
+
+    integrand = named_integrand(args.integrand)
+    if args.command == "run":
+        res = integrate(
+            integrand, integrand.ndim, rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol, method=args.method, max_eval=args.max_eval,
+        )
+        _print_result(res, integrand.reference)
+        return 0 if res.converged else 1
+
+    # compare
+    for method in ("pagani", "two_phase", "cuhre", "qmc"):
+        res = integrate(
+            integrand, integrand.ndim, rel_tol=args.rel_tol,
+            method=method, max_eval=args.max_eval,
+        )
+        _print_result(res, integrand.reference)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

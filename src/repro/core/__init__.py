@@ -1,0 +1,32 @@
+"""PAGANI core: the paper's primary contribution (Algorithms 2 and 3).
+
+* :mod:`~repro.core.regions` — structure-of-arrays region storage with the
+  uniform initial split, the filter (stream-compaction) kernel and the
+  split kernel, all charged to the virtual device.
+* :mod:`~repro.core.classify` — REL-ERR-CLASSIFY and the THRESHOLD-CLASSIFY
+  search of Algorithm 3.
+* :mod:`~repro.core.pagani` — the breadth-first main loop of Algorithm 2
+  with its termination conditions, finished-estimate accounting and
+  per-iteration trace.
+* :mod:`~repro.core.result` — result/status dataclasses shared by all
+  integrators in the package.
+"""
+
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.core.multi_gpu import MultiGpuPagani, MultiGpuReport
+from repro.core.result import IntegrationResult, Status
+from repro.core.regions import RegionStore
+from repro.core.classify import ThresholdTrace, rel_err_classify, threshold_classify
+
+__all__ = [
+    "PaganiConfig",
+    "PaganiIntegrator",
+    "MultiGpuPagani",
+    "MultiGpuReport",
+    "IntegrationResult",
+    "Status",
+    "RegionStore",
+    "ThresholdTrace",
+    "rel_err_classify",
+    "threshold_classify",
+]

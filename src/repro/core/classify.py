@@ -1,0 +1,224 @@
+"""Region classification: REL-ERR-CLASSIFY and THRESHOLD-CLASSIFY.
+
+These are the two adaptive measures of §3.5 that replace the error-sorted
+priority queue of sequential methods:
+
+* **Relative-error filtering** (Lemma 3.1): a region whose own relative
+  error already satisfies ``e_i <= τ_rel |v_i|`` can be committed as
+  finished — if *every* region met this bound, the global estimate would
+  meet it too (for sign-definite integrands).  Disabled via configuration
+  for integrands oscillating between signs, where the lemma's precondition
+  fails (§3.5.1, and the 8D f1 case of Fig. 7).
+
+* **Threshold classification** (Algorithm 3): a binary-search-like hunt for
+  an error threshold ``t`` such that committing every active region with
+  ``e_i <= t`` (a) frees at least half of the active list (memory
+  requirement) and (b) consumes at most ``P_max`` of the remaining error
+  budget ``e_b = e_tot − |v_tot| τ_rel`` (accuracy requirement).  ``P_max``
+  starts at 25 % and is relaxed by 10 points per search-direction change up
+  to 95 %.
+
+The search keeps a trace of every probe so the Figure 3 reproduction can
+print thresholds tried, fraction of regions removed and fraction of error
+budget consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gpu import thrust
+from repro.gpu.device import VirtualDevice
+
+
+def rel_err_classify(
+    estimate: np.ndarray,
+    error: np.ndarray,
+    tau_rel: float,
+    device: Optional[VirtualDevice] = None,
+    margin: float = 1.0,
+    abs_share: float = 0.0,
+) -> np.ndarray:
+    """Return the active mask: True where the region still needs refining.
+
+    A region is *finished* when its error estimate is within the relative
+    tolerance of its own integral estimate.  ``margin < 1`` tightens the
+    per-region test (finished iff ``e_i <= margin · τ_rel |v_i|``) so that
+    the sum of relative-error commitments stays strictly below the global
+    tolerance, leaving allowance for the threshold filter's commitments —
+    without a margin the two mechanisms together can exhaust the budget and
+    strand the run fractionally above τ_rel.
+
+    ``abs_share`` is the per-region slice of the absolute tolerance (the
+    caller apportions τ_abs over the live regions); it lets pure-τ_abs runs
+    classify regions finished even when the relative test is unreachable.
+    """
+    active = error > np.maximum(margin * tau_rel * np.abs(estimate), abs_share)
+    if device is not None:
+        device.charge_kernel(
+            "rel_err_classify", work_items=estimate.size, bytes_per_item=24.0
+        )
+    return active
+
+
+@dataclass
+class ThresholdProbe:
+    """One threshold attempt inside the Algorithm 3 search."""
+
+    threshold: float
+    frac_removed: float
+    frac_error_budget: float
+    accepted: bool
+
+
+@dataclass
+class ThresholdTrace:
+    """Full record of one THRESHOLD-CLASSIFY invocation (Fig. 3 data)."""
+
+    min_error: float
+    max_error: float
+    initial_threshold: float
+    error_budget: float
+    probes: List[ThresholdProbe] = field(default_factory=list)
+    success: bool = False
+    direction_changes: int = 0
+    final_pmax: float = 0.25
+
+
+def threshold_classify(
+    active: np.ndarray,
+    error: np.ndarray,
+    v_tot: float,
+    e_tot: float,
+    tau_rel: float,
+    *,
+    commit_allowance: Optional[float] = None,
+    p_max: float = 0.25,
+    p_max_step: float = 0.10,
+    p_max_cap: float = 0.95,
+    mem_fraction: float = 0.5,
+    max_direction_changes: int = 10,
+    max_probes: int = 60,
+    device: Optional[VirtualDevice] = None,
+) -> tuple[np.ndarray, ThresholdTrace]:
+    """Algorithm 3: search for an error threshold and classify below it.
+
+    Parameters
+    ----------
+    active:
+        Current active mask (output of :func:`rel_err_classify`); regions
+        already finished stay finished regardless of the search outcome.
+    error:
+        Two-level-refined error estimates for *all* in-memory regions.
+    v_tot, e_tot:
+        Global integral and error estimates *including* finished
+        contributions (``v + v_f``, ``e + e_f``) — the budget is global.
+    tau_rel:
+        User relative tolerance.
+    commit_allowance:
+        Upper bound on error this and all future threshold commitments may
+        still consume.  The paper observes that "if the finished
+        error-estimate is larger than the error budget, then convergence is
+        impossible" and that the threshold choice must avoid this; the
+        caller (PAGANI) passes the share of ``τ_rel |v_tot|`` reserved for
+        threshold commitments minus what it has already committed, so the
+        lifetime sum of commitments stays below the tolerance (a geometric
+        series under ``P_max < 1``).  ``None`` reproduces the paper's raw
+        budget (excess error only) — used by the looser-budget ablation.
+    p_max / p_max_step / p_max_cap:
+        Error-budget fraction schedule (§3.5.3: 0.25, +0.10 per direction
+        change, capped at 0.95).
+    mem_fraction:
+        Fraction of the *active* regions that must be discarded for the
+        memory requirement (paper: at least 50 %).
+
+    Returns
+    -------
+    (new_active_mask, trace)
+        On an unsuccessful search the mask is returned unchanged and
+        ``trace.success`` is False (the caller decides whether to proceed
+        without filtering or to terminate with a memory flag).
+    """
+    trace_device = device  # all reductions below happen on device
+    n_active = thrust.count_nonzero(trace_device, active)
+    err_active = error[active]
+    e_it = thrust.reduce_sum(trace_device, err_active, name="thrust::reduce(Eact)")
+    # Excess error that must disappear for convergence, capped by the
+    # commitment allowance still available under the tolerance.
+    e_budget = e_tot - abs(v_tot) * tau_rel
+    if commit_allowance is not None:
+        e_budget = min(e_budget, commit_allowance)
+
+    if n_active == 0 or e_budget <= 0.0:
+        # Nothing to classify, or no budget left to commit: bail out with an
+        # empty trace (convergence is impossible to accelerate here).
+        t = ThresholdTrace(0.0, 0.0, 0.0, e_budget)
+        return active, t
+
+    e_min, e_max = thrust.minmax(trace_device, err_active)
+    threshold = e_it / n_active  # initial probe: the average active error
+    trace = ThresholdTrace(
+        min_error=e_min,
+        max_error=e_max,
+        initial_threshold=threshold,
+        error_budget=e_budget,
+    )
+
+    current_pmax = p_max
+    direction: int = 0  # -1 moving toward min, +1 moving toward max
+    changes = 0
+    best: Optional[np.ndarray] = None
+
+    for _ in range(max_probes):
+        # APPLY-THRESHOLD: a finished-by-relerr region stays finished; an
+        # active region is discarded when its error sits at/below t.
+        discard = active & (error <= threshold)
+        new_active = active & ~discard
+        n_removed = thrust.count_nonzero(trace_device, discard)
+        e_removed = thrust.reduce_sum(
+            trace_device, error[discard], name="thrust::reduce(Erem)"
+        )
+        frac_removed = n_removed / n_active
+        frac_budget = e_removed / e_budget
+        mem_ok = frac_removed > mem_fraction
+        acc_ok = e_removed <= current_pmax * e_budget
+        trace.probes.append(
+            ThresholdProbe(threshold, frac_removed, frac_budget, mem_ok and acc_ok)
+        )
+        if mem_ok and acc_ok:
+            best = new_active
+            trace.success = True
+            break
+        # UPDATE-THRESHOLD: move halfway toward the relevant extreme.  The
+        # accuracy requirement dominates (committing too much error makes
+        # convergence impossible), so it is corrected first.
+        if not acc_ok:
+            new_direction = -1
+            threshold = threshold - (threshold - e_min) / 2.0
+        else:  # memory requirement failed: discard more
+            new_direction = +1
+            threshold = threshold + (e_max - threshold) / 2.0
+        if direction != 0 and new_direction != direction:
+            changes += 1
+            current_pmax = min(p_max_cap, current_pmax + p_max_step)
+            if changes > max_direction_changes:
+                break
+        direction = new_direction
+
+    trace.direction_changes = changes
+    trace.final_pmax = current_pmax
+    if device is not None:
+        # The search is a handful of reductions per probe; charge one scan
+        # per probe over the error list (memory-bound).
+        device.charge_kernel(
+            "threshold_classify",
+            work_items=error.size,
+            bytes_per_item=8.0,
+            launches=max(1, len(trace.probes)),
+        )
+    if best is None:
+        return active, trace
+    return best, trace

@@ -1,0 +1,422 @@
+"""The PAGANI main loop (Algorithm 2).
+
+One iteration = one breadth-first sweep over every live sub-region:
+
+1. ``EVALUATE`` all regions with the Genz–Malik rule set (the only step
+   needing function-evaluation-level parallelism);
+2. refine raw errors with the two-level parent/sibling scheme;
+3. ``REL-ERR-CLASSIFY`` regions whose own relative error already meets
+   ``τ_rel``;
+4. reduce to global estimates and test the termination condition
+   ``(e + e_f) / |v + v_f| <= τ_rel`` or ``e + e_f <= τ_abs``;
+5. optionally ``THRESHOLD-CLASSIFY`` (Algorithm 3) when the integral
+   estimate has stabilised to the requested digits or the next split would
+   exhaust device memory;
+6. accumulate finished contributions, ``FILTER`` finished regions out of
+   memory, ``SPLIT`` the survivors along their fourth-difference axes.
+
+Every step is charged to the virtual device so the simulated-time figures
+and the §4.3.2 performance breakdown fall out of the same run.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classify import ThresholdTrace, rel_err_classify, threshold_classify
+from repro.core.regions import RegionStore, bytes_per_region
+from repro.core.result import IntegrationResult, IterationRecord, Status
+from repro.cubature.evaluation import evaluate_regions
+from repro.cubature.rules import get_rule
+from repro.cubature.two_level import two_level_errors
+from repro.errors import ConfigurationError
+from repro.gpu import thrust
+from repro.gpu.device import DeviceSpec, VirtualDevice
+
+
+@dataclass
+class PaganiConfig:
+    """Tunable knobs of the PAGANI integrator.
+
+    Defaults follow the paper's experimental setup (§4): τ_abs = 1e-20 so
+    the relative condition governs, 256-thread-block-style batch evaluation,
+    relative-error filtering on (turn off for integrands oscillating in
+    sign, §3.5.1), threshold classification armed on both triggers.
+    """
+
+    rel_tol: float = 1e-3
+    abs_tol: float = 1e-20
+    max_iterations: int = 60
+    #: regions in the initial uniform split is the smallest d with
+    #: d^ndim >= init_target (d >= 2)
+    init_target: int = 2048
+    #: explicit splits-per-axis override (None = derive from init_target)
+    initial_splits: Optional[int] = None
+    #: §3.5.1 user flag: disable relative-error filtering for integrands
+    #: taking both signs
+    relerr_filtering: bool = True
+    #: Algorithm 3 trigger (a): integral estimate stable to the requested
+    #: digits while the error is still too large
+    threshold_on_convergence: bool = True
+    #: Algorithm 3 trigger (b): next split would exhaust device memory
+    threshold_on_memory: bool = True
+    #: apply Berntsen two-level refinement (ablation knob)
+    two_level: bool = True
+    #: "cascade" (default: Berntsen–Espelid-style non-asymptotic detection),
+    #: "two_rule" (|I7−I5|) or "four_difference" (paper-verbatim max of four)
+    error_model: str = "cascade"
+    #: Algorithm 3 parameters
+    p_max: float = 0.25
+    p_max_step: float = 0.10
+    p_max_cap: float = 0.95
+    mem_fraction: float = 0.5
+    max_direction_changes: int = 10
+    #: per-region finished test is e_i <= margin·τ_rel·|v_i|; the margin
+    #: reserves part of the global budget for threshold commitments
+    relerr_margin: float = 0.5
+    #: chunking budget for the evaluate sweep (floats per chunk)
+    chunk_budget: int = 16_000_000
+
+    def validate(self) -> None:
+        if not (0.0 < self.rel_tol < 1.0):
+            raise ConfigurationError(f"rel_tol must be in (0, 1), got {self.rel_tol}")
+        if self.abs_tol < 0.0:
+            raise ConfigurationError("abs_tol must be non-negative")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if self.error_model not in ("cascade", "two_rule", "four_difference"):
+            raise ConfigurationError(f"unknown error_model {self.error_model!r}")
+        if self.initial_splits is not None and self.initial_splits < 1:
+            raise ConfigurationError("initial_splits must be >= 1")
+
+    def splits_for(self, ndim: int) -> int:
+        if self.initial_splits is not None:
+            return self.initial_splits
+        d = max(2, math.ceil(self.init_target ** (1.0 / ndim)))
+        return d
+
+
+class PaganiIntegrator:
+    """Breadth-first adaptive cubature on the (virtual) GPU.
+
+    Parameters
+    ----------
+    config:
+        Algorithm knobs; tolerance values here are defaults that
+        :meth:`integrate` keyword arguments override per call.
+    device:
+        Virtual device executing the kernels.  ``None`` builds a
+        memory-scaled V100; pass ``VirtualDevice(DeviceSpec.v100())`` for
+        paper-scale memory accounting.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import PaganiIntegrator
+    >>> f = lambda x: np.exp(-np.sum(x**2, axis=1))
+    >>> res = PaganiIntegrator().integrate(f, ndim=3, rel_tol=1e-6)
+    >>> res.converged
+    True
+    """
+
+    def __init__(
+        self,
+        config: Optional[PaganiConfig] = None,
+        device: Optional[VirtualDevice] = None,
+    ):
+        self.config = config or PaganiConfig()
+        self.config.validate()
+        self.device = device if device is not None else VirtualDevice(DeviceSpec.scaled())
+        #: threshold-search traces of the last run (Fig. 3 reproduction)
+        self.threshold_traces: list[ThresholdTrace] = []
+
+    # ------------------------------------------------------------------
+    def integrate(
+        self,
+        integrand: Callable[[np.ndarray], np.ndarray],
+        ndim: int,
+        bounds: Optional[Sequence[Sequence[float]]] = None,
+        rel_tol: Optional[float] = None,
+        abs_tol: Optional[float] = None,
+        collect_trace: bool = True,
+    ) -> IntegrationResult:
+        """Integrate ``integrand`` over an axis-aligned box.
+
+        Parameters
+        ----------
+        integrand:
+            Batch callable ``(N, ndim) -> (N,)``.  Cost-model metadata is
+            read from an optional ``flops_per_eval`` attribute.
+        bounds:
+            ``(ndim, 2)`` low/high pairs; defaults to the unit cube, the
+            domain used throughout the paper's evaluation.
+        rel_tol / abs_tol:
+            Override the configured tolerances for this call.
+        """
+        cfg = self.config
+        tau_rel = cfg.rel_tol if rel_tol is None else float(rel_tol)
+        tau_abs = cfg.abs_tol if abs_tol is None else float(abs_tol)
+        if not (0.0 < tau_rel < 1.0):
+            raise ConfigurationError(f"rel_tol must be in (0, 1), got {tau_rel}")
+        if bounds is None:
+            bounds = [(0.0, 1.0)] * ndim
+        bounds_arr = np.asarray(bounds, dtype=np.float64)
+        if bounds_arr.shape != (ndim, 2):
+            raise ConfigurationError(
+                f"bounds must have shape ({ndim}, 2), got {bounds_arr.shape}"
+            )
+
+        rule = get_rule(ndim)
+        dev = self.device
+        dev.reset_clock()
+        dev.memory.reset()
+        self.threshold_traces = []
+        flops_per_eval = float(getattr(integrand, "flops_per_eval", 50.0))
+        flops_region = rule.flops_per_region(flops_per_eval)
+
+        t0 = time.perf_counter()
+        store = RegionStore.uniform_split(bounds_arr, cfg.splits_for(ndim), device=dev)
+
+        v_finished = 0.0
+        e_finished = 0.0
+        e_finished_threshold = 0.0  # share of e_finished from Algorithm 3
+        v_prev_global: Optional[float] = None
+        neval = 0
+        total_regions = 0
+        trace: list[IterationRecord] = []
+
+        status = Status.MAX_ITERATIONS
+        v_global = 0.0
+        e_global = float("inf")
+        iterations = 0
+
+        for it in range(cfg.max_iterations):
+            iterations = it + 1
+            m = store.size
+            total_regions += m
+
+            # --- EVALUATE (line 10) -----------------------------------
+            ev = evaluate_regions(
+                rule,
+                store.centers,
+                store.halfwidths,
+                integrand,
+                error_model=cfg.error_model,
+                chunk_budget=cfg.chunk_budget,
+            )
+            neval += ev.neval
+            dev.charge_kernel("evaluate", work_items=m, flops_per_item=flops_region)
+            store.estimate = ev.estimate
+            store.split_axis = ev.split_axis
+
+            # --- TWO-LEVEL-ERROR (line 11) ----------------------------
+            if cfg.two_level and store.parent_estimate is not None:
+                errors = two_level_errors(
+                    ev.estimate, ev.error, store.parent_estimate[0::2]
+                )
+                dev.charge_kernel("two_level", work_items=m, bytes_per_item=40.0)
+            else:
+                errors = ev.error
+            store.error = errors
+
+            # --- REL-ERR-CLASSIFY (line 12) ---------------------------
+            if cfg.relerr_filtering:
+                active = rel_err_classify(
+                    ev.estimate, errors, tau_rel, device=dev,
+                    margin=cfg.relerr_margin,
+                    abs_share=cfg.relerr_margin * tau_abs / m,
+                )
+            else:
+                active = np.ones(m, dtype=bool)
+
+            # --- global reduction + termination (lines 13-16) ---------
+            v_it = thrust.reduce_sum(dev, ev.estimate, name="thrust::reduce(V)")
+            e_it = thrust.reduce_sum(dev, errors, name="thrust::reduce(E)")
+            v_global = v_it + v_finished
+            e_global = e_it + e_finished
+
+            n_active = thrust.count_nonzero(dev, active)
+            n_fin_rel = m - n_active
+
+            if e_global <= tau_abs:
+                status = Status.CONVERGED_ABS
+            elif v_global != 0.0 and e_global <= tau_rel * abs(v_global):
+                status = Status.CONVERGED_REL
+
+            n_fin_threshold = 0
+            if status in (Status.CONVERGED_ABS, Status.CONVERGED_REL):
+                self._record(
+                    trace, collect_trace, it, m, n_active, n_fin_rel, 0,
+                    v_global, e_global, v_finished, e_finished, neval, dev,
+                )
+                break
+
+            if it == cfg.max_iterations - 1:
+                status = Status.MAX_ITERATIONS
+                self._record(
+                    trace, collect_trace, it, m, n_active, n_fin_rel, 0,
+                    v_global, e_global, v_finished, e_finished, neval, dev,
+                )
+                break
+
+            # --- THRESHOLD-CLASSIFY triggers (§3.5.2) ------------------
+            trigger_mem = cfg.threshold_on_memory and not store.split_would_fit(
+                n_active
+            )
+            trigger_conv = (
+                cfg.threshold_on_convergence
+                and v_prev_global is not None
+                and v_global != 0.0
+                and abs(v_global - v_prev_global) <= tau_rel * abs(v_global)
+            )
+            if (trigger_mem or trigger_conv) and n_active > 0:
+                # Share of the tolerance reserved for threshold commitments
+                # (rel-err commitments stay below relerr_margin·τ_rel·|v|).
+                # Under memory pressure the paper prioritises survival:
+                # "conserving memory is the only possibility for the
+                # algorithm to continue" — so the memory trigger falls back
+                # to the raw excess budget when the safe allowance would
+                # block filtering.
+                allowance = (
+                    (1.0 - cfg.relerr_margin) * tau_rel * abs(v_global)
+                    - e_finished_threshold
+                )
+                before = active
+                active, ttrace = threshold_classify(
+                    active,
+                    errors,
+                    v_global,
+                    e_global,
+                    tau_rel,
+                    commit_allowance=allowance,
+                    p_max=cfg.p_max,
+                    p_max_step=cfg.p_max_step,
+                    p_max_cap=cfg.p_max_cap,
+                    mem_fraction=cfg.mem_fraction,
+                    max_direction_changes=cfg.max_direction_changes,
+                    device=dev,
+                )
+                self.threshold_traces.append(ttrace)
+                if not ttrace.success and trigger_mem:
+                    active, ttrace = threshold_classify(
+                        before,
+                        errors,
+                        v_global,
+                        e_global,
+                        tau_rel,
+                        commit_allowance=None,
+                        p_max=cfg.p_max,
+                        p_max_step=cfg.p_max_step,
+                        p_max_cap=cfg.p_max_cap,
+                        mem_fraction=cfg.mem_fraction,
+                        max_direction_changes=cfg.max_direction_changes,
+                        device=dev,
+                    )
+                    self.threshold_traces.append(ttrace)
+                if ttrace.success:
+                    e_finished_threshold += float(np.sum(errors[before & ~active]))
+                new_active = thrust.count_nonzero(dev, active)
+                n_fin_threshold = n_active - new_active
+                n_active = new_active
+
+            # --- accumulate finished contributions (lines 18-19) ------
+            v_active = thrust.dot(dev, ev.estimate, active.astype(np.float64))
+            e_active = thrust.dot(dev, errors, active.astype(np.float64))
+            v_finished += v_it - v_active
+            e_finished += e_it - e_active
+
+            self._record(
+                trace, collect_trace, it, m, n_active, n_fin_rel,
+                n_fin_threshold, v_global, e_global, v_finished, e_finished,
+                neval, dev,
+            )
+
+            if (
+                e_finished > tau_rel * abs(v_global)
+                and e_finished > tau_abs
+                and v_global != 0.0
+            ):
+                # Committed error already exceeds the tolerance: convergence
+                # has become impossible ("easily detectable", §3.5.3).  This
+                # only happens when memory pressure forced an over-large
+                # commitment, so report it as resource exhaustion.
+                status = Status.MEMORY_EXHAUSTED
+                break
+
+            if n_active == 0:
+                # All regions committed.  The finished totals are final.
+                v_global = v_finished
+                e_global = e_finished
+                if e_global <= tau_abs:
+                    status = Status.CONVERGED_ABS
+                elif v_global != 0.0 and e_global <= tau_rel * abs(v_global):
+                    status = Status.CONVERGED_REL
+                else:
+                    status = Status.NO_ACTIVE_REGIONS
+                break
+
+            if not store.split_would_fit(n_active):
+                # Filtering could not free enough memory: return the latest
+                # estimates with the failure flag (§3.5.2).
+                status = Status.MEMORY_EXHAUSTED
+                break
+
+            # --- FILTER + SPLIT (lines 20-23) --------------------------
+            store.filter(active)
+            store.split()
+            v_prev_global = v_global
+
+        wall = time.perf_counter() - t0
+        store.release()
+        return IntegrationResult(
+            estimate=v_global,
+            errorest=e_global,
+            status=status,
+            neval=neval,
+            nregions=total_regions,
+            iterations=iterations,
+            method="pagani",
+            sim_seconds=dev.elapsed_seconds,
+            wall_seconds=wall,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(
+        trace: list,
+        collect: bool,
+        it: int,
+        m: int,
+        n_active: int,
+        n_fin_rel: int,
+        n_fin_threshold: int,
+        v_global: float,
+        e_global: float,
+        v_finished: float,
+        e_finished: float,
+        neval: int,
+        dev: VirtualDevice,
+    ) -> None:
+        if not collect:
+            return
+        trace.append(
+            IterationRecord(
+                iteration=it,
+                n_regions=m,
+                n_active=n_active,
+                n_finished_relerr=n_fin_rel,
+                n_finished_threshold=n_fin_threshold,
+                estimate=v_global,
+                errorest=e_global,
+                finished_estimate=v_finished,
+                finished_errorest=e_finished,
+                neval=neval,
+                sim_seconds=dev.elapsed_seconds,
+            )
+        )

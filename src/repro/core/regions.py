@@ -1,0 +1,243 @@
+"""Structure-of-arrays region storage plus the filter and split kernels.
+
+PAGANI keeps every live sub-region in flat device arrays — there is no tree
+data structure and no per-processor heap.  A region is a row across parallel
+arrays:
+
+``centers``/``halfwidths``  geometry (user coordinates),
+``estimate``/``error``      current cubature estimates,
+``split_axis``              axis chosen by the fourth-difference scan,
+``parent_estimate``         the parent's integral estimate (two-level error).
+
+The two structural kernels of Algorithm 2 are implemented here:
+
+* :meth:`RegionStore.filter` — stream compaction of the active regions
+  (exclusive-scan index computation + gather), removing finished regions
+  from memory permanently;
+* :meth:`RegionStore.split` — every surviving region splits into two halves
+  along its chosen axis, doubling the list (line 22/23).
+
+Both charge the virtual device and account region bytes against the device
+memory pool, which is how the memory-exhaustion trigger of §3.5.2 becomes
+observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DeviceMemoryError
+from repro.gpu import thrust
+from repro.gpu.device import VirtualDevice
+
+_F8 = 8
+
+
+def bytes_per_region(ndim: int) -> int:
+    """Device bytes one region occupies across all parallel arrays.
+
+    2n geometry doubles + estimate, error, parent estimate, split axis and
+    active flag (flags/axes stored as 64-bit on device for coalescing).
+    """
+    return (2 * ndim + 5) * _F8
+
+
+@dataclass
+class RegionStore:
+    """Flat storage for the live region list."""
+
+    ndim: int
+    centers: np.ndarray  # (m, n)
+    halfwidths: np.ndarray  # (m, n)
+    estimate: np.ndarray  # (m,)
+    error: np.ndarray  # (m,)
+    split_axis: np.ndarray  # (m,) int64
+    parent_estimate: Optional[np.ndarray]  # (m,) or None on iteration 0
+    device: Optional[VirtualDevice] = None
+    _mem_handle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform_split(
+        cls,
+        bounds: np.ndarray,
+        splits_per_axis: int,
+        device: Optional[VirtualDevice] = None,
+    ) -> "RegionStore":
+        """Partition the integration box into ``d^n`` equal sub-regions.
+
+        This is Algorithm 2 line 4 (``Uniform-Split``): the pre-processing
+        step that seeds the breadth-first expansion with enough parallelism
+        to occupy the device from the first iteration.
+        """
+        bounds = np.asarray(bounds, dtype=np.float64)
+        if bounds.ndim != 2 or bounds.shape[1] != 2:
+            raise ConfigurationError("bounds must have shape (ndim, 2)")
+        ndim = bounds.shape[0]
+        d = int(splits_per_axis)
+        if d < 1:
+            raise ConfigurationError("splits_per_axis must be >= 1")
+        lo = bounds[:, 0]
+        hi = bounds[:, 1]
+        if np.any(hi <= lo):
+            raise ConfigurationError("each bound must satisfy high > low")
+        width = (hi - lo) / d
+        m = d**ndim
+        # Cartesian grid of cell indices, one row per region.
+        grids = np.meshgrid(*[np.arange(d)] * ndim, indexing="ij")
+        idx = np.stack([g.ravel() for g in grids], axis=1)  # (m, n)
+        centers = lo[None, :] + (idx + 0.5) * width[None, :]
+        halfwidths = np.broadcast_to(width / 2.0, (m, ndim)).copy()
+        store = cls(
+            ndim=ndim,
+            centers=np.ascontiguousarray(centers),
+            halfwidths=halfwidths,
+            estimate=np.zeros(m),
+            error=np.zeros(m),
+            split_axis=np.zeros(m, dtype=np.int64),
+            parent_estimate=None,
+            device=device,
+        )
+        store._account_memory()
+        if device is not None:
+            device.charge_kernel(
+                "uniform_split", work_items=m, bytes_per_item=2 * ndim * _F8
+            )
+        return store
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def nbytes_device(self) -> int:
+        return self.size * bytes_per_region(self.ndim)
+
+    def _account_memory(self) -> None:
+        if self.device is None:
+            return
+        pool = self.device.memory
+        if self._mem_handle is None:
+            self._mem_handle = pool.alloc(self.nbytes_device)
+        else:
+            pool.resize(self._mem_handle, self.nbytes_device)
+
+    def release(self) -> None:
+        """Free the store's device allocation (end of an integration)."""
+        if self.device is not None and self._mem_handle is not None:
+            self.device.memory.free(self._mem_handle)
+            self._mem_handle = None
+
+    def split_would_fit(self, n_active: int) -> bool:
+        """Whether splitting ``n_active`` regions fits in device memory.
+
+        During the split both the filtered parent list and the new child
+        list are resident (the copy kernels read one and write the other),
+        so the requirement is ``bytes(n_active) + bytes(2 n_active)`` beyond
+        what is already freed by filtering.
+        """
+        if self.device is None:
+            return True
+        need = 3 * n_active * bytes_per_region(self.ndim)
+        already = self.nbytes_device if self._mem_handle is not None else 0
+        return need <= self.device.memory.available + already
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def filter(self, active: np.ndarray) -> int:
+        """Remove finished regions from memory (Algorithm 2 line 20).
+
+        Uses the exclusive-scan + gather compaction idiom of the CUDA
+        implementation; returns the surviving count.  The removed regions'
+        contributions must already have been accumulated into the finished
+        totals by the caller — after this call they are unrecoverable,
+        exactly as in the paper ("any regions that PAGANI filters out are
+        permanently removed").
+        """
+        active = np.asarray(active, dtype=bool)
+        if active.shape[0] != self.size:
+            raise ValueError("flag length mismatch")
+        # Index computation is an exclusive scan on device; the gather is
+        # what NumPy boolean indexing performs.
+        thrust.exclusive_scan(self.device, active.astype(np.int64))
+        keep = np.nonzero(active)[0]
+        self.centers = self.centers[keep]
+        self.halfwidths = self.halfwidths[keep]
+        self.estimate = self.estimate[keep]
+        self.error = self.error[keep]
+        self.split_axis = self.split_axis[keep]
+        if self.parent_estimate is not None:
+            self.parent_estimate = self.parent_estimate[keep]
+        if self.device is not None:
+            self.device.charge_kernel(
+                "filter",
+                work_items=int(active.shape[0]),
+                bytes_per_item=float(bytes_per_region(self.ndim)),
+            )
+        self._account_memory()
+        return self.size
+
+    def split(self) -> None:
+        """Split every region in two along its chosen axis (line 22).
+
+        Children are stored pairwise (2k, 2k+1 from parent k) and inherit
+        the parent's integral estimate for the next two-level refinement.
+
+        Raises
+        ------
+        DeviceMemoryError
+            If the doubled list does not fit on the device.  PAGANI's main
+            loop prevents this by triggering threshold classification
+            beforehand; the raise covers callers that skip that safeguard
+            (the "no filtering" ablation of Fig. 8).
+        """
+        m = self.size
+        n = self.ndim
+        if self.device is not None:
+            extra = 2 * m * bytes_per_region(n)
+            if not self.device.memory.can_fit(extra):
+                raise DeviceMemoryError(
+                    requested=extra, available=self.device.memory.available
+                )
+        axes = self.split_axis
+        rows = np.arange(m)
+        new_half = self.halfwidths.copy()
+        new_half[rows, axes] *= 0.5
+        offset = np.zeros((m, n))
+        offset[rows, axes] = new_half[rows, axes]
+
+        centers = np.empty((2 * m, n))
+        halfwidths = np.empty((2 * m, n))
+        centers[0::2] = self.centers - offset
+        centers[1::2] = self.centers + offset
+        halfwidths[0::2] = new_half
+        halfwidths[1::2] = new_half
+
+        parent_estimate = np.repeat(self.estimate, 2)
+
+        self.centers = centers
+        self.halfwidths = halfwidths
+        self.parent_estimate = parent_estimate
+        self.estimate = np.zeros(2 * m)
+        self.error = np.zeros(2 * m)
+        self.split_axis = np.zeros(2 * m, dtype=np.int64)
+        if self.device is not None:
+            self.device.charge_kernel(
+                "split",
+                work_items=2 * m,
+                bytes_per_item=float(bytes_per_region(n)),
+            )
+        self._account_memory()
+
+    def volumes(self) -> np.ndarray:
+        """Region volumes (testing/diagnostics)."""
+        return np.prod(2.0 * self.halfwidths, axis=1)

@@ -1,0 +1,105 @@
+"""Result and status types shared by every integrator in the package."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Status(enum.Enum):
+    """Why an integration run stopped.
+
+    ``CONVERGED_REL`` / ``CONVERGED_ABS``
+        The global termination condition of Algorithm 2 line 15 was met
+        (relative or absolute tolerance branch).
+    ``MAX_ITERATIONS``
+        The iteration cap was reached first (PAGANI) — estimates are
+        returned but flagged not converged, matching the paper's "flag
+        pertaining to not achieving the user's accuracy requirements".
+    ``MAX_EVALUATIONS``
+        The function-evaluation budget was exhausted (Cuhre semantics).
+    ``MEMORY_EXHAUSTED``
+        Device memory could not hold the next iteration's region list and
+        filtering could not free enough (PAGANI), or a phase-II block heap
+        overflowed (two-phase).
+    ``NO_ACTIVE_REGIONS``
+        Every region was classified finished, yet the accumulated finished
+        error still exceeds the tolerance; further refinement is impossible
+        because finished contributions are committed.
+    """
+
+    CONVERGED_REL = "converged_rel"
+    CONVERGED_ABS = "converged_abs"
+    MAX_ITERATIONS = "max_iterations"
+    MAX_EVALUATIONS = "max_evaluations"
+    MEMORY_EXHAUSTED = "memory_exhausted"
+    NO_ACTIVE_REGIONS = "no_active_regions"
+
+
+@dataclass
+class IterationRecord:
+    """One row of the per-iteration trace (drives Figs. 3, 8, 9, §4.3.2)."""
+
+    iteration: int
+    n_regions: int
+    n_active: int
+    n_finished_relerr: int
+    n_finished_threshold: int
+    estimate: float
+    errorest: float
+    finished_estimate: float
+    finished_errorest: float
+    neval: int
+    sim_seconds: float
+
+
+@dataclass
+class IntegrationResult:
+    """Outcome of one integration run.
+
+    ``estimate``/``errorest`` are the global values of Algorithm 2 line 16
+    (leaf contributions plus accumulated finished contributions).
+    ``sim_seconds`` is deterministic simulated device/CPU time from the cost
+    models; ``wall_seconds`` is measured host time.
+    """
+
+    estimate: float
+    errorest: float
+    status: Status
+    neval: int = 0
+    nregions: int = 0
+    iterations: int = 0
+    method: str = ""
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    trace: List[IterationRecord] = field(default_factory=list)
+    #: populated when a reference value is known (benchmark harnesses)
+    true_value: Optional[float] = None
+
+    @property
+    def converged(self) -> bool:
+        return self.status in (Status.CONVERGED_REL, Status.CONVERGED_ABS)
+
+    @property
+    def rel_errorest(self) -> float:
+        """Estimated relative error (inf when the estimate is zero)."""
+        if self.estimate == 0.0:
+            return float("inf") if self.errorest > 0.0 else 0.0
+        return abs(self.errorest / self.estimate)
+
+    def true_rel_error(self) -> Optional[float]:
+        """|estimate − truth| / |truth| when a reference value is attached."""
+        if self.true_value is None:
+            return None
+        if self.true_value == 0.0:
+            return abs(self.estimate)
+        return abs((self.estimate - self.true_value) / self.true_value)
+
+    def __str__(self) -> str:
+        ok = "converged" if self.converged else f"NOT converged ({self.status.value})"
+        return (
+            f"{self.method or 'integration'}: {self.estimate:.12g} "
+            f"± {self.errorest:.3g} [{ok}; {self.neval} evals, "
+            f"{self.nregions} regions, sim {self.sim_seconds * 1e3:.3g} ms]"
+        )

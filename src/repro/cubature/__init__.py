@@ -1,0 +1,30 @@
+"""Fully-symmetric cubature rules (Genz–Malik) and batch region evaluation.
+
+This package implements the quadrature substrate shared by PAGANI and every
+baseline, mirroring what Cuhre builds on:
+
+* :mod:`~repro.cubature.orbits` — fully-symmetric point-orbit machinery and a
+  moment-matching solver that *derives* rule weights from exactness
+  conditions instead of hard-coding constants (the published Genz–Malik
+  closed forms are asserted against the solved weights in the test suite).
+* :mod:`~repro.cubature.rules` — the degree-7 Genz–Malik rule with embedded
+  degree-5/3/1 companion rules used for error estimation, cached per
+  dimension.
+* :mod:`~repro.cubature.evaluation` — vectorized evaluation of *batches* of
+  regions (the paper's ``EVALUATE`` kernel): integral estimates, error
+  estimates, and fourth-difference split-axis selection in one pass.
+* :mod:`~repro.cubature.two_level` — Berntsen's two-level error refinement
+  using parent and sibling estimates.
+"""
+
+from repro.cubature.rules import GenzMalikRule, get_rule
+from repro.cubature.evaluation import EvaluationResult, evaluate_regions
+from repro.cubature.two_level import two_level_errors
+
+__all__ = [
+    "GenzMalikRule",
+    "get_rule",
+    "EvaluationResult",
+    "evaluate_regions",
+    "two_level_errors",
+]

@@ -1,0 +1,181 @@
+"""Vectorized batch region evaluation: the paper's ``EVALUATE`` kernel.
+
+PAGANI's defining trait is that *all* live regions are evaluated in one
+parallel sweep per iteration.  Here the sweep is a vectorized NumPy pass:
+points for a chunk of regions are materialised as one ``(chunk, p, n)``
+tensor, the integrand is applied to the flattened point list, and the five
+weighted reductions plus the fourth-difference axis scan are computed with
+matrix products and fancy-indexed gathers.  Chunking bounds peak host memory
+(the guides' "be easy on memory" rule) without changing results.
+
+Returned per region:
+
+* ``estimate``   — degree-7 integral estimate,
+* ``error``      — raw error estimate (before two-level refinement),
+* ``split_axis`` — axis with the largest fourth divided difference,
+* companion-rule estimates when the ``four_difference`` error model is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cubature.rules import FOURTH_DIFF_RATIO, GenzMalikRule
+
+#: cap on floats materialised per chunk (regions * points * ndim)
+_CHUNK_BUDGET = 16_000_000
+
+
+@dataclass
+class EvaluationResult:
+    """Per-region outputs of one evaluate sweep."""
+
+    estimate: np.ndarray  # (m,) degree-7 estimates
+    error: np.ndarray  # (m,) raw error estimates
+    split_axis: np.ndarray  # (m,) int axis of largest fourth difference
+    neval: int  # total integrand evaluations performed
+
+
+#: non-asymptotic detection threshold for the cascade error model: if a
+#: higher-order difference is not at least this factor smaller than the next
+#: lower-order one, the region is treated as non-smooth and gets the crude
+#: (conservative) error.  DCUHRE uses comparable ratio tests on its null
+#: rules.
+CASCADE_RATIO_CRITICAL = 0.5
+
+
+def _error_from_estimates(
+    i7: np.ndarray,
+    i5: np.ndarray,
+    i3a: np.ndarray,
+    i3b: np.ndarray,
+    i1: np.ndarray,
+    model: str,
+) -> np.ndarray:
+    """Combine embedded-rule estimates into a raw error estimate.
+
+    ``cascade`` (default)
+        The Berntsen–Espelid-style estimator Cuhre's rules were designed
+        for, realised on our embedded family: form the difference cascade
+        ``E1 = |I7−I5|``, ``E2 = |I5−I3a|``, ``E3 = |I3a−I1|``.  For a
+        smooth integrand on a small region these decay geometrically
+        (each difference is dominated by the lower rule's truncation
+        error); when the decay is absent the region is non-asymptotic
+        (kink, discontinuity, unresolved peak) and the *largest* difference
+        is the honest error scale.  This protects PAGANI's per-region
+        finished commitments from the classic |I7−I5| underestimation on
+        non-smooth cells — a failure Cuhre tolerates (it never commits) but
+        a filtering algorithm cannot.
+    ``two_rule``
+        The classical |I7 − I5| difference alone (ablation mode).
+    ``four_difference``
+        The paper's verbatim description: the largest difference between
+        the degree-7 estimate and the four lower-degree companions.  Most
+        conservative; kept as an ablation mode.
+    """
+    if model == "two_rule":
+        return np.abs(i7 - i5)
+    if model == "four_difference":
+        return np.maximum.reduce(
+            [np.abs(i7 - i5), np.abs(i7 - i3a), np.abs(i7 - i3b), np.abs(i7 - i1)]
+        )
+    if model == "cascade":
+        e1 = np.abs(i7 - i5)
+        e2 = np.abs(i5 - i3a)
+        e3 = np.abs(i3a - i1)
+        crude = np.maximum(np.maximum(e1, e2), e3)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r1 = np.where(e2 > 0.0, e1 / e2, np.where(e1 > 0.0, np.inf, 0.0))
+            r2 = np.where(e3 > 0.0, e2 / e3, np.where(e2 > 0.0, np.inf, 0.0))
+        asymptotic = np.maximum(r1, r2) < CASCADE_RATIO_CRITICAL
+        return np.where(asymptotic, e1, crude)
+    raise ValueError(f"unknown error model {model!r}")
+
+
+def evaluate_regions(
+    rule: GenzMalikRule,
+    centers: np.ndarray,
+    halfwidths: np.ndarray,
+    integrand: Callable[[np.ndarray], np.ndarray],
+    error_model: str = "two_rule",
+    chunk_budget: int = _CHUNK_BUDGET,
+    out_estimate: Optional[np.ndarray] = None,
+    out_error: Optional[np.ndarray] = None,
+    out_axis: Optional[np.ndarray] = None,
+) -> EvaluationResult:
+    """Evaluate a batch of axis-aligned regions with the Genz–Malik rule set.
+
+    Parameters
+    ----------
+    centers, halfwidths:
+        ``(m, n)`` float64 arrays describing the regions in the *user's*
+        coordinate system (no unit-cube normalisation required).
+    integrand:
+        Batch callable mapping ``(N, n)`` points to ``(N,)`` values.
+    error_model:
+        See :func:`_error_from_estimates`.
+    chunk_budget:
+        Max floats materialised per chunk; tunes peak memory only.
+
+    Notes
+    -----
+    The degree-7 weights are normalised per unit volume of the reference
+    cube, so estimates are ``volume * (values @ w)`` with
+    ``volume = prod(2 * halfwidth)``.
+    """
+    if error_model not in ("cascade", "two_rule", "four_difference"):
+        raise ValueError(f"unknown error model {error_model!r}")
+    centers = np.asarray(centers, dtype=np.float64)
+    halfwidths = np.asarray(halfwidths, dtype=np.float64)
+    m, n = centers.shape
+    if halfwidths.shape != (m, n):
+        raise ValueError("centers/halfwidths shape mismatch")
+    if n != rule.ndim:
+        raise ValueError(f"rule is {rule.ndim}-D, regions are {n}-D")
+    p = rule.npoints
+
+    estimate = out_estimate if out_estimate is not None else np.empty(m)
+    error = out_error if out_error is not None else np.empty(m)
+    axis = out_axis if out_axis is not None else np.empty(m, dtype=np.int64)
+
+    need_companions = error_model in ("four_difference", "cascade")
+    chunk = max(1, int(chunk_budget // (p * n)))
+    pts_ref = rule.points  # (p, n)
+
+    for lo in range(0, m, chunk):
+        hi = min(lo + chunk, m)
+        c = centers[lo:hi]  # (mc, n)
+        h = halfwidths[lo:hi]
+        # (mc, p, n) = c + ref * h  (broadcast over the point axis)
+        pts = c[:, None, :] + pts_ref[None, :, :] * h[:, None, :]
+        vals = integrand(pts.reshape(-1, n)).reshape(hi - lo, p)
+        if vals.dtype != np.float64:
+            vals = vals.astype(np.float64)
+        vol = np.prod(2.0 * h, axis=1)  # (mc,)
+
+        i7 = vol * (vals @ rule.w7)
+        i5 = vol * (vals @ rule.w5)
+        estimate[lo:hi] = i7
+        if need_companions:
+            i3a = vol * (vals @ rule.w3a)
+            i3b = vol * (vals @ rule.w3b)
+            i1 = vol * (vals @ rule.w1)
+            error[lo:hi] = _error_from_estimates(i7, i5, i3a, i3b, i1, error_model)
+        else:
+            error[lo:hi] = np.abs(i7 - i5)
+
+        # Fourth divided differences per axis:
+        #   D_i = |(f(+λ2 e_i) + f(−λ2 e_i) − 2 f(0))
+        #          − (λ2²/λ3²) (f(+λ3 e_i) + f(−λ3 e_i) − 2 f(0))|
+        f0 = vals[:, 0][:, None]  # (mc, 1)
+        d2 = vals[:, rule.idx2_plus] + vals[:, rule.idx2_minus] - 2.0 * f0
+        d3 = vals[:, rule.idx3_plus] + vals[:, rule.idx3_minus] - 2.0 * f0
+        fourth = np.abs(d2 - FOURTH_DIFF_RATIO * d3)  # (mc, n)
+        axis[lo:hi] = np.argmax(fourth, axis=1)
+
+    return EvaluationResult(
+        estimate=estimate, error=error, split_axis=axis, neval=m * p
+    )

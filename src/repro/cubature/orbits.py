@@ -1,0 +1,210 @@
+"""Fully-symmetric point orbits on the cube ``[-1, 1]^n``.
+
+A fully-symmetric cubature rule assigns one weight per *orbit*: the set of
+points generated from a generator vector by all coordinate permutations and
+sign changes.  The Genz–Malik family uses five orbit shapes:
+
+``center``        the origin (1 point)
+``star(λ)``       ``(±λ, 0, …, 0)`` and permutations (2n points)
+``pairs(λ)``      ``(±λ, ±λ, 0, …, 0)`` and permutations (2n(n−1) points)
+``corners(λ)``    ``(±λ, …, ±λ)`` (2^n points)
+
+Weights are obtained by *moment matching*: requiring the rule to integrate a
+basis of even monomials exactly.  Solving the moment system at rule-build
+time (instead of hard-coding the published constants) keeps the construction
+honest — a wrong generator or a typo in an orbit produces a loud residual
+failure rather than a silently inaccurate rule.  The published closed forms
+are still checked against the solved weights in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+#: Even-monomial exponent patterns (exponents of x_i^2) used as exactness
+#: conditions, in increasing total degree: 1, x^2, x^4, x^2 y^2, x^6,
+#: x^4 y^2, x^2 y^2 z^2.
+MONOMIALS_BY_DEGREE = {
+    0: [()],
+    2: [(1,)],
+    4: [(2,), (1, 1)],
+    6: [(3,), (2, 1), (1, 1, 1)],
+}
+
+
+def monomials_up_to(degree: int, ndim: int) -> List[Tuple[int, ...]]:
+    """Even-monomial patterns with total degree <= ``degree``.
+
+    Patterns longer than ``ndim`` cannot occur in ``ndim`` dimensions and are
+    dropped (e.g. ``x^2 y^2 z^2`` needs n >= 3).
+    """
+    out: List[Tuple[int, ...]] = []
+    for deg in sorted(MONOMIALS_BY_DEGREE):
+        if deg > degree:
+            break
+        for pat in MONOMIALS_BY_DEGREE[deg]:
+            if len(pat) <= ndim:
+                out.append(pat)
+    return out
+
+
+def cube_moment(pattern: Sequence[int]) -> float:
+    """Normalised moment of ``prod x_i^(2 a_i)`` over [-1,1]^n.
+
+    Normalised by the cube volume, so the result is ``prod 1/(2 a_i + 1)``
+    independent of dimension.
+    """
+    m = 1.0
+    for a in pattern:
+        m /= 2 * a + 1
+    return m
+
+
+@dataclass(frozen=True)
+class Orbit:
+    """One fully-symmetric orbit: its kind, generator value and point count."""
+
+    kind: str  # "center" | "star" | "pairs" | "corners"
+    lam: float
+    npoints: int
+
+    def points(self, ndim: int) -> np.ndarray:
+        """Materialise the orbit's points as an ``(npoints, ndim)`` array."""
+        lam = self.lam
+        if self.kind == "center":
+            return np.zeros((1, ndim))
+        if self.kind == "star":
+            pts = np.zeros((2 * ndim, ndim))
+            for i in range(ndim):
+                pts[2 * i, i] = lam
+                pts[2 * i + 1, i] = -lam
+            return pts
+        if self.kind == "pairs":
+            rows = []
+            for i, j in combinations(range(ndim), 2):
+                for si in (lam, -lam):
+                    for sj in (lam, -lam):
+                        row = np.zeros(ndim)
+                        row[i] = si
+                        row[j] = sj
+                        rows.append(row)
+            return np.array(rows) if rows else np.zeros((0, ndim))
+        if self.kind == "corners":
+            # All sign patterns of (lam, ..., lam) via binary enumeration.
+            k = np.arange(2**ndim, dtype=np.int64)
+            bits = (k[:, None] >> np.arange(ndim)[None, :]) & 1
+            return lam * np.where(bits == 1, 1.0, -1.0)
+        raise ValueError(f"unknown orbit kind {self.kind!r}")
+
+    def monomial_sum(self, pattern: Sequence[int], ndim: int) -> float:
+        """Sum of ``prod x_i^(2 a_i)`` over the orbit's points, closed form.
+
+        Closed forms avoid materialising the 2^n corner orbit during weight
+        solving in high dimensions.
+        """
+        pat = [a for a in pattern if a > 0]
+        k = len(pat)  # distinct variables carrying positive exponent
+        total = sum(pat)
+        lam2 = self.lam * self.lam
+        if self.kind == "center":
+            return 1.0 if k == 0 else 0.0
+        if self.kind == "star":
+            if k == 0:
+                return float(2 * ndim)
+            if k == 1:
+                return 2.0 * lam2 ** pat[0]
+            return 0.0
+        if self.kind == "pairs":
+            npairs = ndim * (ndim - 1)  # = 2 * C(n,2); each pair has 4 sign pts
+            if k == 0:
+                return float(2 * npairs)
+            if k == 1:
+                # the exponent-bearing axis participates in (n-1) pairs,
+                # each contributing 4 sign points with value lam^(2a)
+                return 4.0 * (ndim - 1) * lam2 ** pat[0]
+            if k == 2:
+                return 4.0 * lam2**total
+            return 0.0
+        if self.kind == "corners":
+            return float(2**ndim) * lam2**total
+        raise ValueError(f"unknown orbit kind {self.kind!r}")
+
+
+def make_orbits(ndim: int, lam2: float, lam3: float, lam4: float, lam5: float) -> List[Orbit]:
+    """The five Genz–Malik orbits for dimension ``ndim``."""
+    if ndim < 2:
+        raise DimensionError(
+            f"fully-symmetric rules need ndim >= 2, got {ndim} "
+            "(use a 1-D quadrature for one-dimensional problems)"
+        )
+    if ndim > 20:
+        raise DimensionError(
+            f"ndim={ndim} exceeds the supported limit of 20 "
+            "(the corner orbit has 2^n points; deterministic cubature is "
+            "impractical at this dimensionality — the paper targets moderate "
+            "dimensions)"
+        )
+    return [
+        Orbit("center", 0.0, 1),
+        Orbit("star", lam2, 2 * ndim),
+        Orbit("star", lam3, 2 * ndim),
+        Orbit("pairs", lam4, 2 * ndim * (ndim - 1)),
+        Orbit("corners", lam5, 2**ndim),
+    ]
+
+
+def solve_weights(
+    orbits: Sequence[Orbit],
+    ndim: int,
+    degree: int,
+    use: Sequence[int] | None = None,
+    rtol: float = 1e-10,
+) -> np.ndarray:
+    """Solve orbit weights so the rule integrates monomials of total degree
+    <= ``degree`` exactly (per unit volume).
+
+    Parameters
+    ----------
+    orbits:
+        Full orbit list; ``use`` selects which participate (others get
+        weight zero) — this is how the embedded lower-degree companion rules
+        are built on subsets of the degree-7 point set.
+    degree:
+        Polynomial exactness degree (odd monomials vanish by symmetry, so
+        only even monomials up to ``degree-1``/``degree`` constrain).
+    rtol:
+        Maximum permitted least-squares residual, relative to the moment
+        scale.  The Genz–Malik generators make the (overdetermined)
+        degree-7 system consistent; a residual here means a broken orbit.
+
+    Returns
+    -------
+    Per-orbit weights, length ``len(orbits)``.
+    """
+    if use is None:
+        use = list(range(len(orbits)))
+    monos = monomials_up_to(degree, ndim)
+    amat = np.zeros((len(monos), len(use)))
+    rhs = np.zeros(len(monos))
+    for r, pat in enumerate(monos):
+        rhs[r] = cube_moment(pat)
+        for c, oi in enumerate(use):
+            amat[r, c] = orbits[oi].monomial_sum(pat, ndim)
+    sol, *_ = np.linalg.lstsq(amat, rhs, rcond=None)
+    resid = amat @ sol - rhs
+    if np.max(np.abs(resid)) > rtol * max(1.0, np.max(np.abs(rhs))):
+        raise ValueError(
+            f"moment system for degree-{degree} rule in {ndim}D is "
+            f"inconsistent (residual {np.max(np.abs(resid)):.3e}); "
+            "generator values do not admit this rule"
+        )
+    weights = np.zeros(len(orbits))
+    for c, oi in enumerate(use):
+        weights[oi] = sol[c]
+    return weights

@@ -1,0 +1,18 @@
+"""Diagnostics: traces, tree statistics, load-imbalance and cost breakdowns.
+
+These utilities back the qualitative figures of the paper (Figs. 1-3) and
+the §4.3.2 performance-breakdown analysis.
+"""
+
+from repro.diagnostics.imbalance import ImbalanceReport, partition_imbalance
+from repro.diagnostics.tree import TreeShape, tree_shape_from_trace
+from repro.diagnostics.breakdown import KernelShare, kernel_breakdown
+
+__all__ = [
+    "ImbalanceReport",
+    "partition_imbalance",
+    "TreeShape",
+    "tree_shape_from_trace",
+    "KernelShare",
+    "kernel_breakdown",
+]

@@ -1,0 +1,61 @@
+"""Per-kernel cost breakdown (§4.3.2).
+
+The paper reports that the ``evaluate`` kernel consistently dominates (>90 %
+of execution time), followed by filtering/sub-division, then post-processing
+and classification.  The virtual device records per-kernel launches and
+simulated seconds; this module groups them into the paper's four categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gpu.device import VirtualDevice
+
+#: kernel-name → paper category mapping
+CATEGORIES = {
+    "evaluate": "evaluate",
+    "two_level": "post-processing",
+    "thrust::reduce(V)": "post-processing",
+    "thrust::reduce(E)": "post-processing",
+    "thrust::reduce(Eact)": "threshold-classification",
+    "thrust::reduce(Erem)": "threshold-classification",
+    "thrust::inner_product": "post-processing",
+    "thrust::count": "post-processing",
+    "thrust::minmax_element": "threshold-classification",
+    "rel_err_classify": "post-processing",
+    "threshold_classify": "threshold-classification",
+    "thrust::exclusive_scan": "filter+split",
+    "filter": "filter+split",
+    "split": "filter+split",
+    "uniform_split": "filter+split",
+    "phase2": "phase2",
+}
+
+
+@dataclass
+class KernelShare:
+    category: str
+    seconds: float
+    share: float
+    launches: int
+
+
+def kernel_breakdown(device: VirtualDevice) -> List[KernelShare]:
+    """Group the device's kernel accounting into the §4.3.2 categories."""
+    agg: Dict[str, List[float]] = {}
+    total = 0.0
+    for name, st in device.stats().items():
+        cat = CATEGORIES.get(name, "other")
+        row = agg.setdefault(cat, [0.0, 0])
+        row[0] += st.seconds
+        row[1] += st.launches
+        total += st.seconds
+    total = total or 1.0
+    out = [
+        KernelShare(category=cat, seconds=sec, share=sec / total, launches=int(n))
+        for cat, (sec, n) in agg.items()
+    ]
+    out.sort(key=lambda k: k.seconds, reverse=True)
+    return out

@@ -1,0 +1,75 @@
+"""Sub-region tree shape statistics (Figure 2).
+
+PAGANI never materialises a tree, but its iteration trace *is* a
+breadth-first levelling of one: iteration k processes the regions at depth
+k (offset by the initial uniform split).  Cuhre's pop-split loop builds a
+narrow, deep tree instead.  This module summarises both shapes so the
+Figure 2 comparison — wide-and-shallow versus narrow-and-deep — can be
+reported quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.result import IntegrationResult, IterationRecord
+
+
+@dataclass
+class TreeShape:
+    """Level-by-level width profile of a sub-region tree."""
+
+    method: str
+    level_widths: List[int]  # regions evaluated per depth level
+    finished_per_level: List[int]  # regions classified finished per level
+
+    @property
+    def depth(self) -> int:
+        return len(self.level_widths)
+
+    @property
+    def max_width(self) -> int:
+        return max(self.level_widths) if self.level_widths else 0
+
+    @property
+    def total_regions(self) -> int:
+        return int(sum(self.level_widths))
+
+    def summary(self) -> str:
+        rows = [f"{self.method}: depth={self.depth}, max width={self.max_width}"]
+        for lvl, (w, fin) in enumerate(zip(self.level_widths, self.finished_per_level)):
+            rows.append(f"  depth {lvl:>2d}: width={w:>9d} finished={fin:>9d}")
+        return "\n".join(rows)
+
+
+def tree_shape_from_trace(result: IntegrationResult) -> TreeShape:
+    """Derive the level profile from a PAGANI/two-phase iteration trace."""
+    widths = [rec.n_regions for rec in result.trace]
+    finished = [
+        rec.n_finished_relerr + rec.n_finished_threshold for rec in result.trace
+    ]
+    return TreeShape(
+        method=result.method, level_widths=widths, finished_per_level=finished
+    )
+
+
+def cuhre_tree_shape(
+    depths: Sequence[int], finished_depths: Sequence[int] | None = None
+) -> TreeShape:
+    """Build a :class:`TreeShape` from explicit per-region depths.
+
+    Used by the Figure 2 harness, which runs an instrumented Cuhre that
+    records the depth of every region it creates.
+    """
+    depths = np.asarray(depths, dtype=np.int64)
+    max_d = int(depths.max()) if depths.size else 0
+    widths = [int(np.sum(depths == d)) for d in range(max_d + 1)]
+    if finished_depths is not None:
+        fd = np.asarray(finished_depths, dtype=np.int64)
+        finished = [int(np.sum(fd == d)) for d in range(max_d + 1)]
+    else:
+        finished = [0] * (max_d + 1)
+    return TreeShape(method="cuhre", level_widths=widths, finished_per_level=finished)

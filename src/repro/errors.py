@@ -1,0 +1,52 @@
+"""Exception hierarchy for the PAGANI reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Device-level failures (the simulated GPU) get their own
+branch because the PAGANI algorithm *reacts* to them: memory exhaustion is an
+expected, recoverable event that triggers the threshold-classification filter
+rather than an abort.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class DimensionError(ConfigurationError):
+    """The integrand dimensionality is unsupported (must be 2 <= n <= 20)."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-device failures."""
+
+
+class DeviceMemoryError(DeviceError, MemoryError):
+    """The simulated device memory pool cannot satisfy an allocation.
+
+    Carries the shortfall so schedulers/algorithms can decide how much to
+    filter before retrying.
+    """
+
+    def __init__(self, requested: int, available: int, message: str | None = None):
+        self.requested = int(requested)
+        self.available = int(available)
+        if message is None:
+            message = (
+                f"device allocation of {requested} bytes exceeds available "
+                f"{available} bytes"
+            )
+        super().__init__(message)
+
+
+class KernelError(DeviceError):
+    """A kernel was launched with an invalid configuration."""
+
+
+class IntegrationError(ReproError):
+    """An integration run could not produce any estimate at all."""

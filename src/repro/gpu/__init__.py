@@ -1,0 +1,37 @@
+"""Simulated GPU substrate.
+
+The paper's PAGANI implementation runs as CUDA kernels on a 16 GB V100.  This
+package provides the substitute substrate used throughout the reproduction:
+
+* :class:`~repro.gpu.device.DeviceSpec` / :class:`~repro.gpu.device.CpuSpec`
+  describe hardware (peak FP64 throughput, bandwidth, launch overhead, SM
+  count, memory capacity).
+* :class:`~repro.gpu.device.VirtualDevice` executes "kernels" (vectorized
+  NumPy array transforms) while charging a deterministic cost model and
+  accounting memory against a capacity-limited pool.
+* :mod:`~repro.gpu.thrust` supplies Thrust-style reductions/scans that route
+  through the same accounting.
+* :class:`~repro.gpu.scheduler.BlockScheduler` models the makespan of
+  independent per-block workloads placed on SM slots — the load-imbalance
+  mechanism that penalises the two-phase method's phase II.
+
+Every figure reproduced from the paper uses the *simulated* time maintained
+here, which makes the benchmark outputs deterministic and hardware
+independent; wall-clock numbers are reported separately by pytest-benchmark.
+"""
+
+from repro.gpu.device import CpuSpec, DeviceSpec, KernelStats, VirtualDevice
+from repro.gpu.memory import MemoryPool
+from repro.gpu.scheduler import BlockScheduler
+from repro.errors import DeviceMemoryError, KernelError
+
+__all__ = [
+    "CpuSpec",
+    "DeviceSpec",
+    "KernelStats",
+    "VirtualDevice",
+    "MemoryPool",
+    "BlockScheduler",
+    "DeviceMemoryError",
+    "KernelError",
+]

@@ -1,0 +1,104 @@
+"""Capacity-limited device memory pool.
+
+The pool does *bookkeeping only*: the actual array storage is ordinary host
+NumPy memory.  What matters for reproducing the paper is the accounting —
+PAGANI's threshold-classification filter is triggered when the next
+breadth-first split would not fit in device memory, and the two-phase
+baseline *fails* outright in that situation.  Both behaviours need a device
+whose capacity is finite and observable.
+
+Allocations are tracked by integer handles so double-frees and leaks are
+detectable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import DeviceMemoryError
+
+
+@dataclass
+class MemoryPool:
+    """Byte-accurate allocation tracker with a hard capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Total pool size in bytes.  ``V100`` presets use 16 GiB; the scaled
+        presets used by tests/benchmarks are much smaller so that memory
+        exhaustion phenomena appear at laptop-friendly region counts.
+    """
+
+    capacity: int
+    _in_use: int = 0
+    _next_handle: int = 0
+    _allocations: Dict[int, int] = field(default_factory=dict)
+    peak_in_use: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+
+    @property
+    def in_use(self) -> int:
+        """Bytes currently allocated."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Bytes that can still be allocated."""
+        return self.capacity - self._in_use
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would succeed right now."""
+        return nbytes <= self.available
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes``; returns an opaque handle for :meth:`free`.
+
+        Raises
+        ------
+        DeviceMemoryError
+            If the pool cannot satisfy the request.  The exception carries
+            the shortfall so the caller can size its filtering response.
+        """
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.available:
+            raise DeviceMemoryError(requested=nbytes, available=self.available)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocations[handle] = nbytes
+        self._in_use += nbytes
+        if self._in_use > self.peak_in_use:
+            self.peak_in_use = self._in_use
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release a previous allocation.  Double frees raise ``KeyError``."""
+        nbytes = self._allocations.pop(handle)
+        self._in_use -= nbytes
+
+    def resize(self, handle: int, nbytes: int) -> None:
+        """Grow or shrink an existing allocation in place."""
+        nbytes = int(nbytes)
+        old = self._allocations[handle]
+        delta = nbytes - old
+        if delta > self.available:
+            raise DeviceMemoryError(requested=delta, available=self.available)
+        self._allocations[handle] = nbytes
+        self._in_use += delta
+        if self._in_use > self.peak_in_use:
+            self.peak_in_use = self._in_use
+
+    def reset(self) -> None:
+        """Drop all allocations (used between independent integrations)."""
+        self._allocations.clear()
+        self._in_use = 0
+
+    @property
+    def n_allocations(self) -> int:
+        return len(self._allocations)

@@ -1,0 +1,81 @@
+"""Thrust-style parallel primitives on the virtual device.
+
+The paper's implementation leans on Thrust for reductions, dot products,
+min/max and prefix scans in PAGANI's post-processing and threshold-search
+steps.  Each wrapper here executes with NumPy and charges the device cost
+model as a memory-bound kernel (these primitives stream the operand arrays
+once or twice through HBM, so bytes-moved is the right roofline axis).
+
+All functions accept plain ``np.ndarray`` operands; keeping array storage on
+the host is part of the substitution documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.gpu.device import VirtualDevice
+
+_F8 = 8  # bytes per float64
+
+
+def reduce_sum(device: Optional[VirtualDevice], values: np.ndarray, name: str = "thrust::reduce") -> float:
+    """Sum-reduce a vector (PAGANI lines 13-14)."""
+    out = float(np.sum(values))
+    if device is not None:
+        device.charge_kernel(name, work_items=values.size, bytes_per_item=_F8)
+    return out
+
+
+def dot(
+    device: Optional[VirtualDevice],
+    a: np.ndarray,
+    b: np.ndarray,
+    name: str = "thrust::inner_product",
+) -> float:
+    """Dot product, used for ``Sum(V . A)`` / ``Sum(E . A)`` (lines 18-19)."""
+    out = float(np.dot(a, b))
+    if device is not None:
+        device.charge_kernel(name, work_items=a.size, bytes_per_item=2 * _F8)
+    return out
+
+
+def minmax(
+    device: Optional[VirtualDevice], values: np.ndarray, name: str = "thrust::minmax_element"
+) -> Tuple[float, float]:
+    """Simultaneous min/max, used to bound the threshold search."""
+    if values.size == 0:
+        raise ValueError("minmax of empty array")
+    out = (float(np.min(values)), float(np.max(values)))
+    if device is not None:
+        device.charge_kernel(name, work_items=values.size, bytes_per_item=_F8)
+    return out
+
+
+def exclusive_scan(
+    device: Optional[VirtualDevice],
+    flags: np.ndarray,
+    name: str = "thrust::exclusive_scan",
+) -> np.ndarray:
+    """Exclusive prefix sum over 0/1 flags.
+
+    This is the compaction index computation used by the filter kernel: the
+    scan of the active flags gives each surviving region its output slot.
+    """
+    out = np.cumsum(flags, dtype=np.int64)
+    out = np.concatenate(([0], out[:-1]))
+    if device is not None:
+        device.charge_kernel(name, work_items=flags.size, bytes_per_item=2 * _F8)
+    return out
+
+
+def count_nonzero(
+    device: Optional[VirtualDevice], flags: np.ndarray, name: str = "thrust::count"
+) -> int:
+    """Count set flags (number of active regions)."""
+    out = int(np.count_nonzero(flags))
+    if device is not None:
+        device.charge_kernel(name, work_items=flags.size, bytes_per_item=_F8)
+    return out

@@ -1,0 +1,46 @@
+"""Test integrands: the paper's f1–f8 plus the Genz (1984) families.
+
+The paper's accuracy methodology (§4.2) fixes the parameters of the Genz
+test families so analytic values exist, enabling *true* relative-error
+measurements rather than trusting the integrators' own error estimates.
+This package provides exactly that:
+
+* :mod:`~repro.integrands.base` — the :class:`Integrand` wrapper carrying
+  the batch callable plus metadata (reference value, flop cost for the
+  device model, sign-definiteness for the rel-err filtering flag).
+* :mod:`~repro.integrands.paper` — f1–f8 with the paper's fixed parameters
+  and closed-form (or semi-analytic, for the f8 box integral) references.
+* :mod:`~repro.integrands.genz` — the six Genz families with randomized
+  parameters and per-family difficulty normalisation, all with closed-form
+  references, for broader testing.
+"""
+
+from repro.integrands.base import Integrand, ScalarIntegrand
+from repro.integrands.paper import (
+    f1_oscillatory,
+    f2_product_peak,
+    f3_corner_peak,
+    f4_gaussian,
+    f5_c0,
+    f6_discontinuous,
+    f7_box11,
+    f8_box15,
+    paper_suite,
+)
+from repro.integrands.genz import GenzFamily, make_genz
+
+__all__ = [
+    "Integrand",
+    "ScalarIntegrand",
+    "f1_oscillatory",
+    "f2_product_peak",
+    "f3_corner_peak",
+    "f4_gaussian",
+    "f5_c0",
+    "f6_discontinuous",
+    "f7_box11",
+    "f8_box15",
+    "paper_suite",
+    "GenzFamily",
+    "make_genz",
+]

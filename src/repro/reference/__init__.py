@@ -1,0 +1,16 @@
+"""Semi-analytic reference values (box integrals and helpers).
+
+The accuracy experiments (Fig. 4) need *true* integral values.  Most of the
+paper's integrands have closed forms; the exception is the odd-power box
+integral f8 = (Σxᵢ²)^{15/2} in 8 dimensions, for which this package builds a
+reference by density convolution — see :mod:`~repro.reference.boxint`.
+"""
+
+from repro.reference.boxint import (
+    box_moment_exact,
+    box_integral,
+    h2_density,
+    integrate_panels,
+)
+
+__all__ = ["box_moment_exact", "box_integral", "h2_density", "integrate_panels"]

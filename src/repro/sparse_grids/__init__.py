@@ -1,0 +1,22 @@
+"""Smolyak sparse-grid quadrature (related work of the paper's §2).
+
+The paper cites sparse-grid methods as promising alternatives that lack
+the error estimates its target applications need; this package provides a
+working member of that family so the comparison can be run rather than
+cited: nested Clenshaw–Curtis levels combined by the Smolyak/combination
+technique, with a level-difference error estimate.
+"""
+
+from repro.sparse_grids.smolyak import (
+    SmolyakConfig,
+    SmolyakIntegrator,
+    clenshaw_curtis,
+    smolyak_points_count,
+)
+
+__all__ = [
+    "SmolyakConfig",
+    "SmolyakIntegrator",
+    "clenshaw_curtis",
+    "smolyak_points_count",
+]

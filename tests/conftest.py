@@ -1,0 +1,68 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep hypothesis deadlines generous: rule construction and batch evaluation
+# do real numerical work per example.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20211115)
+
+
+@pytest.fixture
+def small_device():
+    """A tiny device so memory-exhaustion paths trigger quickly."""
+    from repro.gpu.device import DeviceSpec, VirtualDevice
+
+    return VirtualDevice(DeviceSpec.scaled(mem_mb=2, name="tiny"))
+
+
+@pytest.fixture
+def default_device():
+    from repro.gpu.device import VirtualDevice
+
+    return VirtualDevice()
+
+
+def gaussian_nd(ndim: int, c: float = 50.0):
+    """Separable Gaussian with erf closed form, used across tests."""
+    from math import erf, pi, sqrt
+
+    from repro.integrands.base import Integrand
+
+    factor = sqrt(pi / c) * erf(sqrt(c) / 2.0)
+
+    def fn(x: np.ndarray) -> np.ndarray:
+        return np.exp(-c * np.sum((x - 0.5) ** 2, axis=1))
+
+    return Integrand(
+        fn=fn,
+        ndim=ndim,
+        name=f"{ndim}D gaussian(c={c})",
+        reference=factor**ndim,
+        flops_per_eval=4.0 * ndim + 25.0,
+        sign_definite=True,
+    )
+
+
+@pytest.fixture
+def gaussian3():
+    return gaussian_nd(3)
+
+
+@pytest.fixture
+def gaussian5():
+    return gaussian_nd(5)

@@ -1,0 +1,149 @@
+"""REL-ERR-CLASSIFY and the Algorithm 3 threshold search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import rel_err_classify, threshold_classify
+
+
+# ---------------------------------------------------------------------------
+# rel_err_classify
+# ---------------------------------------------------------------------------
+def test_rel_err_classify_basic():
+    v = np.array([1.0, 1.0, -1.0, 0.0])
+    e = np.array([0.5, 1e-9, 1e-9, 0.0])
+    active = rel_err_classify(v, e, tau_rel=1e-6)
+    np.testing.assert_array_equal(active, [True, False, False, False])
+
+
+def test_rel_err_classify_margin_tightens():
+    v = np.ones(1)
+    e = np.array([0.8e-6])
+    assert not rel_err_classify(v, e, 1e-6, margin=1.0)[0]
+    assert rel_err_classify(v, e, 1e-6, margin=0.5)[0]
+
+
+def test_rel_err_classify_zero_estimate_with_error_stays_active():
+    active = rel_err_classify(np.zeros(1), np.array([1e-12]), 1e-3)
+    assert active[0]
+
+
+# ---------------------------------------------------------------------------
+# threshold_classify
+# ---------------------------------------------------------------------------
+def _skewed_errors(n=1000, seed=0):
+    """Error population like a converging run: many tiny, few large."""
+    rng = np.random.default_rng(seed)
+    e = rng.lognormal(mean=-8.0, sigma=2.5, size=n)
+    e[: n // 50] *= 1e4  # heavy head
+    return e
+
+
+def test_threshold_search_succeeds_on_skewed_population():
+    e = _skewed_errors()
+    active = np.ones(e.size, dtype=bool)
+    v_tot = 1.0
+    e_tot = float(e.sum())
+    new_active, trace = threshold_classify(
+        active, e, v_tot, e_tot, tau_rel=1e-3
+    )
+    assert trace.success
+    removed = active & ~new_active
+    n_removed = int(removed.sum())
+    # memory requirement: at least half the actives discarded
+    assert n_removed > 0.5 * e.size
+    # accuracy requirement: committed error within the final P_max budget
+    assert float(e[removed].sum()) <= trace.final_pmax * trace.error_budget + 1e-18
+
+
+def test_threshold_never_reactivates_finished_regions():
+    e = _skewed_errors()
+    active = np.ones(e.size, dtype=bool)
+    active[::3] = False  # pre-finished by rel-err
+    new_active, _ = threshold_classify(active, e, 1.0, float(e.sum()), 1e-3)
+    assert not np.any(new_active & ~active)
+
+
+def test_threshold_trace_records_probes():
+    e = _skewed_errors()
+    active = np.ones(e.size, dtype=bool)
+    _, trace = threshold_classify(active, e, 1.0, float(e.sum()), 1e-3)
+    assert len(trace.probes) >= 1
+    assert trace.initial_threshold == pytest.approx(float(e.mean()))
+    assert trace.min_error == pytest.approx(float(e.min()))
+    assert trace.max_error == pytest.approx(float(e.max()))
+    # every probe's bookkeeping is a valid fraction
+    for p in trace.probes:
+        assert 0.0 <= p.frac_removed <= 1.0
+    assert trace.probes[-1].accepted == trace.success
+
+
+def test_no_budget_returns_unchanged():
+    """Converged or over-committed runs must not filter at all."""
+    e = np.array([1e-12, 1e-12])
+    active = np.ones(2, dtype=bool)
+    new_active, trace = threshold_classify(
+        active, e, v_tot=1.0, e_tot=1e-12, tau_rel=1e-3
+    )
+    assert not trace.success
+    np.testing.assert_array_equal(new_active, active)
+
+
+def test_empty_active_set_returns_unchanged():
+    e = np.array([1.0, 2.0])
+    active = np.zeros(2, dtype=bool)
+    new_active, trace = threshold_classify(active, e, 1.0, 3.0, 1e-3)
+    assert not trace.success
+    np.testing.assert_array_equal(new_active, active)
+
+
+def test_commit_allowance_restricts_commitment():
+    e = _skewed_errors()
+    active = np.ones(e.size, dtype=bool)
+    e_tot = float(e.sum())
+    allowance = 1e-9 * e_tot
+    new_active, trace = threshold_classify(
+        active, e, 1.0, e_tot, 1e-3, commit_allowance=allowance
+    )
+    if trace.success:
+        committed = float(e[active & ~new_active].sum())
+        assert committed <= trace.final_pmax * allowance + 1e-18
+
+
+def test_uniform_errors_fail_accuracy_or_memory():
+    """All-equal errors: discarding half commits half the error, which
+    exceeds any reasonable budget -> unsuccessful search, mask unchanged."""
+    e = np.full(100, 1.0)
+    active = np.ones(100, dtype=bool)
+    new_active, trace = threshold_classify(active, e, 1.0, 100.0, 1e-6)
+    assert not trace.success
+    np.testing.assert_array_equal(new_active, active)
+
+
+@settings(max_examples=30)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(4, 400),
+    tau_exp=st.integers(2, 8),
+)
+def test_threshold_postconditions_property(seed, n, tau_exp):
+    """Properties that must hold for ANY outcome: no reactivation; on
+    success both Algorithm 3 requirements hold; on failure the mask is
+    untouched."""
+    rng = np.random.default_rng(seed)
+    e = rng.lognormal(mean=-6, sigma=3, size=n)
+    active = rng.random(n) < 0.8
+    tau = 10.0 ** (-tau_exp)
+    v_tot = float(rng.uniform(0.5, 2.0))
+    e_tot = float(e.sum())
+    new_active, trace = threshold_classify(active.copy(), e, v_tot, e_tot, tau)
+    assert not np.any(new_active & ~active)
+    n_active = int(active.sum())
+    if trace.success:
+        removed = active & ~new_active
+        assert int(removed.sum()) > 0.5 * n_active
+        assert float(e[removed].sum()) <= trace.final_pmax * trace.error_budget * (1 + 1e-12)
+    else:
+        np.testing.assert_array_equal(new_active, active)

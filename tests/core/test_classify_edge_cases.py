@@ -1,0 +1,101 @@
+"""Additional edge cases for the classification layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classify import rel_err_classify, threshold_classify
+
+
+def test_all_regions_already_finished():
+    e = np.zeros(10)
+    active = np.zeros(10, dtype=bool)
+    new_active, trace = threshold_classify(active, e, 1.0, 1.0, 1e-3)
+    assert not trace.success
+    assert not new_active.any()
+
+
+def test_single_active_region_cannot_satisfy_memory_requirement():
+    """Discarding the single active region is 100% > 50%, but if its error
+    exceeds the budget the accuracy requirement blocks it."""
+    e = np.array([1.0])
+    active = np.ones(1, dtype=bool)
+    new_active, trace = threshold_classify(active, e, 1.0, 1.0, 1e-6)
+    # budget = 1 - 1e-6 ~ 1; removing the region commits its whole error
+    # (1.0) > P_max * budget -> unsuccessful
+    assert not trace.success
+    assert new_active[0]
+
+
+def test_single_tiny_region_can_be_committed():
+    e = np.array([1e-12])
+    active = np.ones(1, dtype=bool)
+    # e_tot dominated by a large finished share, budget large
+    new_active, trace = threshold_classify(active, e, 1.0, 0.5, 1e-3)
+    assert trace.success
+    assert not new_active[0]
+
+
+def test_threshold_handles_identical_error_values():
+    e = np.full(100, 1e-9)
+    active = np.ones(100, dtype=bool)
+    # generous budget: every region can go; memory requirement is satisfied
+    # by removing all (error below any threshold >= the common value)
+    new_active, trace = threshold_classify(active, e, 1.0, 1e-3, 1e-2)
+    if trace.success:
+        assert np.count_nonzero(~new_active) > 50
+
+
+def test_infinite_and_nan_free_probes():
+    rng = np.random.default_rng(0)
+    e = rng.lognormal(-5, 4, size=256)
+    active = rng.random(256) < 0.7
+    _, trace = threshold_classify(active, e, 1.0, float(e.sum()), 1e-4)
+    for p in trace.probes:
+        assert np.isfinite(p.threshold)
+        assert np.isfinite(p.frac_removed)
+
+
+def test_rel_err_classify_negative_estimates():
+    v = np.array([-1.0, -1.0])
+    e = np.array([1e-9, 0.5])
+    active = rel_err_classify(v, e, 1e-6)
+    np.testing.assert_array_equal(active, [False, True])
+
+
+def test_rel_err_classify_abs_share_zero_is_neutral():
+    v = np.array([1.0])
+    e = np.array([1e-7])
+    a0 = rel_err_classify(v, e, 1e-6, abs_share=0.0)
+    a1 = rel_err_classify(v, e, 1e-6)
+    np.testing.assert_array_equal(a0, a1)
+
+
+def test_rel_err_classify_abs_share_finishes_tiny_regions():
+    v = np.array([0.0, 0.0])
+    e = np.array([1e-12, 1e-3])
+    active = rel_err_classify(v, e, 1e-6, abs_share=1e-9)
+    np.testing.assert_array_equal(active, [False, True])
+
+
+@settings(max_examples=25)
+@given(
+    seed=st.integers(0, 10**5),
+    n=st.integers(1, 100),
+)
+def test_threshold_never_discards_above_budget_even_with_relaxed_pmax(seed, n):
+    """Even after the P_max relaxation schedule, a successful search never
+    commits more than the final P_max times the budget."""
+    rng = np.random.default_rng(seed)
+    e = rng.lognormal(-4, 2, size=n)
+    active = np.ones(n, dtype=bool)
+    e_tot = float(e.sum())
+    v_tot = float(rng.uniform(0.1, 10.0))
+    new_active, trace = threshold_classify(
+        active, e, v_tot, e_tot, 1e-3, max_direction_changes=50, max_probes=200
+    )
+    if trace.success:
+        committed = float(e[active & ~new_active].sum())
+        assert committed <= trace.final_pmax * trace.error_budget * (1 + 1e-9)
+        assert trace.final_pmax <= 0.95 + 1e-12

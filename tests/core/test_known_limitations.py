@@ -1,0 +1,95 @@
+"""Characterisation tests for *documented* heuristic failure modes.
+
+The paper is explicit that adaptive cubature algorithms "are heuristics
+[whose] integral and error estimates ... are not theoretically guaranteed to
+be accurate" (§2).  These tests pin down the concrete mechanisms in this
+implementation so regressions (or silent behaviour changes) are caught, and
+so the limitations stay documented by executable examples.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PaganiConfig, PaganiIntegrator
+from repro.cubature.rules import LAMBDA3, get_rule
+from repro.cubature.evaluation import evaluate_regions
+from repro.integrands.genz import GenzFamily, make_genz
+
+
+def test_edge_sliver_blindness_of_interior_rules():
+    """The Genz–Malik points reach only λ3 ≈ 0.9487 of the halfwidth, so a
+    feature living entirely in the outer ~5 % sliver of a cell is invisible
+    to the rule: near-zero error estimate, real bias.  This is intrinsic to
+    every interior cubature rule (Cuhre included) — what makes it matter
+    for PAGANI is that a *filtering* algorithm may commit such a cell
+    permanently."""
+    rule = get_rule(2)
+    # cell [0.9, 1.0]²; outermost sample along x sits at 0.95 + 0.05·λ3
+    center, halfw = 0.95, 0.05
+    outermost = center + halfw * float(LAMBDA3)
+    kink = 0.999
+    assert kink > outermost
+
+    # sharp enough that the exponential tail is invisible at the outermost
+    # sample (e^{-a·(kink−outermost)} ≈ 4e-4)
+    a = 5000.0
+
+    def f(x):
+        return np.exp(-a * np.abs(x[:, 0] - kink)) + 1.0
+
+    res = evaluate_regions(
+        rule,
+        np.array([[center, center]]),
+        np.array([[halfw, halfw]]),
+        f,
+    )
+    # exact over the cell: 1-D kink factor (+ the constant) times width 0.1
+    kink_1d = (2.0 - np.exp(-a * (kink - 0.9)) - np.exp(-a * (1.0 - kink))) / a
+    true_val = (0.1 + kink_1d) * 0.1
+    bias = abs(res.estimate[0] - true_val)
+    # the rule is blind: real bias exceeds its own error estimate
+    assert bias > 3.0 * res.error[0]
+
+
+def test_unlucky_kink_alignment_overstates_accuracy():
+    """3D C0 instance (seed=5) places a kink plane ~0.1 % inside a cell
+    boundary of the initial grid: thousands of sliver-blind cells get
+    committed and the claimed error understates the true error by ~10x.
+    The estimate is still good to ~4.5 digits — the failure is in the
+    *error claim*, exactly the phenomenon Figure 4 of the paper plots
+    points above the tolerance line for."""
+    f = make_genz(GenzFamily.C0, ndim=3, seed=5)
+    res = PaganiIntegrator(PaganiConfig(rel_tol=1e-6)).integrate(f, 3)
+    assert res.converged
+    true_rel = abs(res.estimate - f.reference) / abs(f.reference)
+    assert true_rel < 1e-4          # still a decent estimate...
+    assert true_rel > res.rel_errorest  # ...but the claim is optimistic
+
+
+def test_lucky_kink_alignment_is_accurate():
+    """Same family, different parameter draw: no pathological alignment,
+    and the true error honours the claimed tolerance."""
+    f = make_genz(GenzFamily.C0, ndim=3, seed=8)
+    res = PaganiIntegrator(PaganiConfig(rel_tol=1e-6)).integrate(f, 3)
+    assert res.converged
+    true_rel = abs(res.estimate - f.reference) / abs(f.reference)
+    assert true_rel <= 1e-5
+
+
+def test_oscillatory_with_filtering_on_can_mislead():
+    """§3.5.1: for sign-indefinite integrands the Lemma 3.1 precondition
+    fails, so relative-error filtering may terminate with an aggressive
+    claim.  The filtering-off flag is the prescribed fix; verify the flag
+    changes behaviour (same integrand, strictly more conservative path)."""
+    f = make_genz(GenzFamily.OSCILLATORY, ndim=4, seed=6)
+    on = PaganiIntegrator(
+        PaganiConfig(rel_tol=1e-6, relerr_filtering=True)
+    ).integrate(f, 4)
+    off = PaganiIntegrator(
+        PaganiConfig(rel_tol=1e-6, relerr_filtering=False)
+    ).integrate(f, 4)
+    err_off = abs(off.estimate - f.reference) / abs(f.reference)
+    # the safe path must actually meet the tolerance
+    assert err_off <= 1e-6 or not off.converged
+    # and never uses fewer regions than the filtered path
+    assert off.nregions >= on.nregions

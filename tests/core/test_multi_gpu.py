@@ -1,0 +1,127 @@
+"""Multi-GPU PAGANI (the §4.4 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiGpuPagani, PaganiConfig, Status
+from repro.errors import ConfigurationError
+from repro.gpu.device import DeviceSpec
+from tests.conftest import gaussian_nd
+
+
+def test_matches_single_device_estimate():
+    g = gaussian_nd(3)
+    multi = MultiGpuPagani(n_devices=4, config=PaganiConfig(rel_tol=1e-7))
+    res = multi.integrate(g, 3)
+    assert res.converged
+    assert res.estimate == pytest.approx(g.reference, rel=1e-7)
+    assert res.method == "pagani-x4"
+
+
+def test_single_device_degenerates_gracefully():
+    g = gaussian_nd(2)
+    res = MultiGpuPagani(n_devices=1, config=PaganiConfig(rel_tol=1e-6)).integrate(g, 2)
+    assert res.converged
+    assert res.estimate == pytest.approx(g.reference, rel=1e-6)
+
+
+def test_report_accounts_all_devices():
+    g = gaussian_nd(3)
+    multi = MultiGpuPagani(n_devices=3, config=PaganiConfig(rel_tol=1e-6))
+    res = multi.integrate(g, 3)
+    report = multi.last_report
+    assert len(report.per_device_seconds) == 3
+    assert report.makespan == max(report.per_device_seconds)
+    assert report.imbalance >= 1.0
+    assert sum(report.per_device_regions) == res.nregions
+    assert res.sim_seconds == pytest.approx(report.makespan)
+
+
+def test_error_weighted_packing_balances_peak():
+    """The peak's seed regions land on different devices than the greedy
+    round-robin would produce; imbalance should stay moderate even for a
+    very concentrated integrand."""
+    g = gaussian_nd(3, c=900.0)
+    multi = MultiGpuPagani(n_devices=4, config=PaganiConfig(rel_tol=1e-6))
+    res = multi.integrate(g, 3, seed_splits=6)
+    assert res.converged
+    report = multi.last_report
+    busy = [s for s in report.per_device_seconds if s > 0]
+    assert len(busy) == 4, "all devices must receive work"
+
+
+def _four_peaks(ndim=4, c=900.0):
+    """Four separated sharp Gaussians: adaptive work a static partition CAN
+    spread across devices (a single peak would land on one device and gain
+    nothing — the §4.4 load-balancing caveat)."""
+    from math import erf, pi, sqrt
+
+    from repro.integrands.base import Integrand
+
+    mus = np.array(
+        [[0.2] * ndim, [0.8] * ndim,
+         [0.2, 0.8] * (ndim // 2), [0.8, 0.2] * (ndim // 2)]
+    )
+
+    def fn(x):
+        out = np.zeros(x.shape[0])
+        for mu in mus:
+            out += np.exp(-c * np.sum((x - mu[None, :]) ** 2, axis=1))
+        return out
+
+    ref = 0.0
+    for mu in mus:
+        v = 1.0
+        for m in mu:
+            v *= sqrt(pi / c) / 2 * (erf(sqrt(c) * (1 - m)) + erf(sqrt(c) * m))
+        ref += v
+    return Integrand(fn=fn, ndim=ndim, reference=ref, flops_per_eval=120.0)
+
+
+def test_fleet_memory_extends_attainable_precision():
+    """§4.4's motivation: more devices = more total memory = more digits.
+    A workload that memory-exhausts one tiny device converges on a fleet
+    whose nodes each take a share of the peaks."""
+    from repro.integrands.base import Integrand  # noqa: F401 (used in helper)
+
+    f = _four_peaks()
+    spec = DeviceSpec.scaled(mem_mb=6, name="tiny")
+    single = MultiGpuPagani(
+        n_devices=1, config=PaganiConfig(rel_tol=1e-8, max_iterations=30),
+        device_spec=spec,
+    ).integrate(f, 4)
+    fleet = MultiGpuPagani(
+        n_devices=8, config=PaganiConfig(rel_tol=1e-8, max_iterations=30),
+        device_spec=spec,
+    ).integrate(f, 4, seed_splits=4)
+    assert not single.converged
+    assert fleet.converged
+    assert fleet.estimate == pytest.approx(f.reference, rel=1e-6)
+
+
+def test_nonconverged_partition_flags_result():
+    g = gaussian_nd(4, c=900.0)
+    spec = DeviceSpec.scaled(mem_mb=2, name="micro")
+    res = MultiGpuPagani(
+        n_devices=2, config=PaganiConfig(rel_tol=1e-9, max_iterations=25),
+        device_spec=spec,
+    ).integrate(g, 4)
+    assert not res.converged
+    assert res.status in (Status.MEMORY_EXHAUSTED, Status.MAX_ITERATIONS,
+                          Status.NO_ACTIVE_REGIONS)
+
+
+def test_bounds_and_validation():
+    with pytest.raises(ConfigurationError):
+        MultiGpuPagani(n_devices=0)
+    g = gaussian_nd(2)
+    with pytest.raises(ConfigurationError):
+        MultiGpuPagani(n_devices=2).integrate(g, 2, bounds=np.zeros((3, 2)))
+
+
+def test_custom_bounds_partitioned_correctly():
+    f = lambda x: np.ones(x.shape[0])
+    res = MultiGpuPagani(n_devices=3, config=PaganiConfig(rel_tol=1e-6)).integrate(
+        f, 2, bounds=[(0.0, 2.0), (-1.0, 1.0)]
+    )
+    assert res.estimate == pytest.approx(4.0, rel=1e-9)

@@ -1,0 +1,140 @@
+"""Region store: uniform split, filter compaction, split kernel, memory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import RegionStore, bytes_per_region
+from repro.errors import ConfigurationError, DeviceMemoryError
+from repro.gpu.device import DeviceSpec, VirtualDevice
+
+UNIT = np.array([[0.0, 1.0], [0.0, 1.0], [0.0, 1.0]])
+
+
+def test_uniform_split_counts_and_geometry():
+    store = RegionStore.uniform_split(UNIT, 4)
+    assert store.size == 4**3
+    # all halfwidths equal 1/8; centers on the expected lattice
+    np.testing.assert_allclose(store.halfwidths, 1.0 / 8.0)
+    lattice = (np.arange(4) + 0.5) / 4.0
+    assert set(np.round(store.centers[:, 0], 12)) == set(np.round(lattice, 12))
+
+
+def test_uniform_split_covers_domain_exactly():
+    store = RegionStore.uniform_split(UNIT, 3)
+    assert float(store.volumes().sum()) == pytest.approx(1.0, rel=1e-12)
+    # regions are disjoint: no two share a center
+    assert len({tuple(c) for c in np.round(store.centers, 12)}) == store.size
+
+
+def test_uniform_split_nonunit_bounds():
+    bounds = np.array([[-2.0, 4.0], [10.0, 11.0]])
+    store = RegionStore.uniform_split(bounds, 2)
+    assert store.size == 4
+    assert float(store.volumes().sum()) == pytest.approx(6.0, rel=1e-12)
+    np.testing.assert_allclose(store.halfwidths[:, 0], 1.5)
+    np.testing.assert_allclose(store.halfwidths[:, 1], 0.25)
+
+
+@pytest.mark.parametrize("bad_bounds", [
+    np.zeros((3, 3)),
+    np.array([[0.0, 0.0]]),
+    np.array([[1.0, 0.0]]),
+])
+def test_uniform_split_validates_bounds(bad_bounds):
+    with pytest.raises(ConfigurationError):
+        RegionStore.uniform_split(bad_bounds, 2)
+
+
+def test_split_halves_chosen_axis_and_conserves_volume():
+    store = RegionStore.uniform_split(UNIT, 2)
+    store.estimate = np.arange(store.size, dtype=np.float64)
+    store.split_axis = np.array([0, 1, 2, 0, 1, 2, 0, 1])
+    vol_before = float(store.volumes().sum())
+    store.split()
+    assert store.size == 16
+    assert float(store.volumes().sum()) == pytest.approx(vol_before, rel=1e-12)
+    # children are pairwise siblings sharing the parent estimate
+    np.testing.assert_array_equal(store.parent_estimate[0::2], np.arange(8.0))
+    np.testing.assert_array_equal(store.parent_estimate[1::2], np.arange(8.0))
+
+
+def test_split_children_partition_parent():
+    store = RegionStore.uniform_split(np.array([[0.0, 1.0], [0.0, 1.0]]), 1)
+    store.estimate = np.zeros(1)
+    store.split_axis = np.array([1])
+    store.split()
+    # two children stacked along axis 1
+    np.testing.assert_allclose(store.halfwidths, [[0.5, 0.25], [0.5, 0.25]])
+    np.testing.assert_allclose(store.centers, [[0.5, 0.25], [0.5, 0.75]])
+
+
+@settings(max_examples=20)
+@given(seed=st.integers(0, 9999), d=st.integers(1, 3), ndim=st.integers(2, 4))
+def test_split_volume_conservation_property(seed, d, ndim):
+    rng = np.random.default_rng(seed)
+    bounds = np.stack([np.zeros(ndim), rng.uniform(0.5, 3.0, ndim)], axis=1)
+    store = RegionStore.uniform_split(bounds, d)
+    store.estimate = rng.normal(size=store.size)
+    store.split_axis = rng.integers(0, ndim, size=store.size)
+    before = float(store.volumes().sum())
+    store.split()
+    assert float(store.volumes().sum()) == pytest.approx(before, rel=1e-12)
+    assert store.size == 2 * d**ndim
+
+
+def test_filter_removes_and_preserves_order():
+    store = RegionStore.uniform_split(UNIT, 2)
+    store.estimate = np.arange(8.0)
+    store.error = np.arange(8.0) * 0.1
+    keep = np.array([True, False, True, True, False, False, True, False])
+    n = store.filter(keep)
+    assert n == 4
+    np.testing.assert_array_equal(store.estimate, [0.0, 2.0, 3.0, 6.0])
+    np.testing.assert_allclose(store.error, [0.0, 0.2, 0.3, 0.6], rtol=1e-12)
+
+
+def test_filter_flag_length_checked():
+    store = RegionStore.uniform_split(UNIT, 2)
+    with pytest.raises(ValueError):
+        store.filter(np.ones(3, dtype=bool))
+
+
+def test_device_memory_accounting_tracks_store():
+    dev = VirtualDevice(DeviceSpec.scaled(mem_mb=8))
+    store = RegionStore.uniform_split(UNIT, 2, device=dev)
+    expected = store.size * bytes_per_region(3)
+    assert dev.memory.in_use == expected
+    store.estimate = np.zeros(store.size)
+    store.split_axis = np.zeros(store.size, dtype=np.int64)
+    store.split()
+    assert dev.memory.in_use == 2 * expected
+    store.release()
+    assert dev.memory.in_use == 0
+
+
+def test_split_raises_when_device_full():
+    # 1 MB device: 8 regions fit, but not many doublings
+    dev = VirtualDevice(DeviceSpec.scaled(mem_mb=1, name="tiny"))
+    store = RegionStore.uniform_split(UNIT, 8, device=dev)  # 512 regions
+    store.estimate = np.zeros(store.size)
+    store.split_axis = np.zeros(store.size, dtype=np.int64)
+    with pytest.raises(DeviceMemoryError):
+        for _ in range(20):
+            store.split()
+
+
+def test_split_would_fit_predicts_capacity():
+    dev = VirtualDevice(DeviceSpec.scaled(mem_mb=1, name="tiny"))
+    store = RegionStore.uniform_split(UNIT, 4, device=dev)
+    bpr = bytes_per_region(3)
+    n_max = dev.memory.capacity // (3 * bpr)
+    assert store.split_would_fit(int(n_max) - store.size)
+    assert not store.split_would_fit(int(n_max) + store.size + 1)
+
+
+def test_store_without_device_never_blocks():
+    store = RegionStore.uniform_split(UNIT, 2)
+    assert store.split_would_fit(10**9)
+    store.release()  # no-op

@@ -1,0 +1,66 @@
+"""Result/status dataclass helpers."""
+
+import math
+
+import pytest
+
+from repro.core.result import IntegrationResult, IterationRecord, Status
+
+
+def _res(**kw):
+    base = dict(estimate=1.0, errorest=1e-6, status=Status.CONVERGED_REL)
+    base.update(kw)
+    return IntegrationResult(**base)
+
+
+def test_converged_property():
+    assert _res(status=Status.CONVERGED_REL).converged
+    assert _res(status=Status.CONVERGED_ABS).converged
+    for s in (Status.MAX_ITERATIONS, Status.MAX_EVALUATIONS,
+              Status.MEMORY_EXHAUSTED, Status.NO_ACTIVE_REGIONS):
+        assert not _res(status=s).converged
+
+
+def test_rel_errorest():
+    assert _res(estimate=2.0, errorest=1e-4).rel_errorest == pytest.approx(5e-5)
+    assert _res(estimate=0.0, errorest=1.0).rel_errorest == math.inf
+    assert _res(estimate=0.0, errorest=0.0).rel_errorest == 0.0
+    assert _res(estimate=-2.0, errorest=1e-4).rel_errorest == pytest.approx(5e-5)
+
+
+def test_true_rel_error():
+    r = _res(estimate=1.01)
+    assert r.true_rel_error() is None
+    r.true_value = 1.0
+    assert r.true_rel_error() == pytest.approx(0.01)
+    r.true_value = 0.0
+    assert r.true_rel_error() == pytest.approx(1.01)
+
+
+def test_str_formats_key_fields():
+    r = _res(method="pagani", neval=100, nregions=10)
+    s = str(r)
+    assert "pagani" in s and "converged" in s
+    r2 = _res(status=Status.MEMORY_EXHAUSTED, method="pagani")
+    assert "NOT converged" in str(r2)
+    assert "memory_exhausted" in str(r2)
+
+
+def test_iteration_record_fields():
+    rec = IterationRecord(
+        iteration=2, n_regions=100, n_active=60, n_finished_relerr=30,
+        n_finished_threshold=10, estimate=1.0, errorest=0.1,
+        finished_estimate=0.2, finished_errorest=0.01, neval=4000,
+        sim_seconds=0.5,
+    )
+    assert rec.n_active + rec.n_finished_relerr + rec.n_finished_threshold == rec.n_regions
+
+
+def test_status_values_are_stable_strings():
+    """Status strings appear in CSV artifacts; keep them stable."""
+    assert Status.CONVERGED_REL.value == "converged_rel"
+    assert Status.CONVERGED_ABS.value == "converged_abs"
+    assert Status.MAX_ITERATIONS.value == "max_iterations"
+    assert Status.MAX_EVALUATIONS.value == "max_evaluations"
+    assert Status.MEMORY_EXHAUSTED.value == "memory_exhausted"
+    assert Status.NO_ACTIVE_REGIONS.value == "no_active_regions"

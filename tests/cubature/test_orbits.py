@@ -1,0 +1,135 @@
+"""Orbit machinery: point generation, closed-form monomial sums, solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cubature.orbits import (
+    Orbit,
+    cube_moment,
+    make_orbits,
+    monomials_up_to,
+    solve_weights,
+)
+from repro.errors import DimensionError
+
+LAM = 0.7342  # arbitrary non-special generator value
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 4, 5, 8])
+@pytest.mark.parametrize(
+    "kind,count",
+    [
+        ("center", lambda n: 1),
+        ("star", lambda n: 2 * n),
+        ("pairs", lambda n: 2 * n * (n - 1)),
+        ("corners", lambda n: 2**n),
+    ],
+)
+def test_orbit_point_counts(ndim, kind, count):
+    orbit = Orbit(kind, LAM, count(ndim))
+    pts = orbit.points(ndim)
+    assert pts.shape == (count(ndim), ndim)
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 5])
+@pytest.mark.parametrize("kind", ["center", "star", "pairs", "corners"])
+def test_orbit_points_unique(ndim, kind):
+    counts = {"center": 1, "star": 2 * ndim, "pairs": 2 * ndim * (ndim - 1), "corners": 2**ndim}
+    pts = Orbit(kind, LAM, counts[kind]).points(ndim)
+    assert len({tuple(np.round(p, 12)) for p in pts}) == pts.shape[0]
+
+
+@pytest.mark.parametrize("kind", ["star", "pairs", "corners"])
+def test_orbit_sign_symmetric(kind):
+    """Every fully-symmetric orbit is closed under sign flips."""
+    ndim = 3
+    counts = {"star": 2 * ndim, "pairs": 2 * ndim * (ndim - 1), "corners": 2**ndim}
+    pts = Orbit(kind, LAM, counts[kind]).points(ndim)
+    pset = {tuple(np.round(p, 12)) for p in pts}
+    for p in pts:
+        assert tuple(np.round(-p, 12)) in pset
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 4, 6])
+@pytest.mark.parametrize("kind", ["center", "star", "pairs", "corners"])
+@pytest.mark.parametrize(
+    "pattern", [(), (1,), (2,), (1, 1), (3,), (2, 1), (1, 1, 1)]
+)
+def test_monomial_sum_matches_bruteforce(ndim, kind, pattern):
+    """Closed-form orbit monomial sums agree with explicit point sums."""
+    if len(pattern) > ndim:
+        pytest.skip("pattern wider than dimension")
+    counts = {
+        "center": 1,
+        "star": 2 * ndim,
+        "pairs": 2 * ndim * (ndim - 1),
+        "corners": 2**ndim,
+    }
+    orbit = Orbit(kind, LAM, counts[kind])
+    pts = orbit.points(ndim)
+    vals = np.ones(pts.shape[0])
+    for axis, a in enumerate(pattern):
+        vals *= pts[:, axis] ** (2 * a)
+    assert orbit.monomial_sum(pattern, ndim) == pytest.approx(float(vals.sum()), rel=1e-12)
+
+
+def test_cube_moment_values():
+    assert cube_moment(()) == 1.0
+    assert cube_moment((1,)) == pytest.approx(1.0 / 3.0)
+    assert cube_moment((2,)) == pytest.approx(1.0 / 5.0)
+    assert cube_moment((1, 1)) == pytest.approx(1.0 / 9.0)
+    assert cube_moment((3, 1, 2)) == pytest.approx(1.0 / (7 * 3 * 5))
+
+
+def test_monomials_up_to_filters_by_dimension():
+    assert (1, 1, 1) in monomials_up_to(6, 3)
+    assert (1, 1, 1) not in monomials_up_to(6, 2)
+    assert monomials_up_to(0, 5) == [()]
+
+
+@given(st.integers(min_value=2, max_value=10))
+def test_make_orbits_structure(ndim):
+    orbits = make_orbits(ndim, 0.3, 0.9, 0.9, 0.6)
+    assert [o.kind for o in orbits] == ["center", "star", "star", "pairs", "corners"]
+    assert sum(o.npoints for o in orbits) == 1 + 4 * ndim + 2 * ndim * (ndim - 1) + 2**ndim
+
+
+@pytest.mark.parametrize("bad", [0, 1, 21, 50])
+def test_make_orbits_rejects_bad_dims(bad):
+    with pytest.raises(DimensionError):
+        make_orbits(bad, 0.3, 0.9, 0.9, 0.6)
+
+
+def test_solve_weights_degree1_is_volume_match():
+    orbits = make_orbits(3, 0.3, 0.9, 0.9, 0.6)
+    w = solve_weights(orbits, 3, degree=1, use=[0])
+    # only the center participates: its weight must equal the normalised
+    # volume (1.0)
+    assert w[0] == pytest.approx(1.0)
+    assert np.all(w[1:] == 0.0)
+
+
+def test_solve_weights_inconsistent_system_raises():
+    """Arbitrary generators cannot satisfy the degree-7 conditions."""
+    orbits = make_orbits(3, 0.31, 0.77, 0.52, 0.61)
+    with pytest.raises(ValueError, match="inconsistent"):
+        solve_weights(orbits, 3, degree=7)
+
+
+@given(
+    ndim=st.integers(min_value=2, max_value=8),
+    lam=st.floats(min_value=0.2, max_value=0.95),
+)
+def test_degree3_rule_from_any_star(ndim, lam):
+    """A center+star subset always admits a degree-3 rule; verify it
+    integrates x^2 exactly."""
+    orbits = make_orbits(ndim, lam, 0.9486832980505138, 0.9486832980505138, 0.6882472016116853)
+    w = solve_weights(orbits, ndim, degree=3, use=[0, 1])
+    pts = np.concatenate([orbits[0].points(ndim), orbits[1].points(ndim)])
+    wp = np.concatenate(
+        [np.full(orbits[0].npoints, w[0]), np.full(orbits[1].npoints, w[1])]
+    )
+    assert float(wp.sum()) == pytest.approx(1.0, rel=1e-10)
+    assert float(wp @ pts[:, 0] ** 2) == pytest.approx(1.0 / 3.0, rel=1e-10)

@@ -1,0 +1,161 @@
+"""Genz–Malik rule construction: weights, exactness, companion rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cubature.rules import (
+    GenzMalikRule,
+    get_rule,
+    point_count,
+    published_degree5_orbit_weights,
+    published_degree7_orbit_weights,
+)
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 4, 5, 6, 7, 8, 10])
+def test_point_count(ndim):
+    rule = get_rule(ndim)
+    assert rule.npoints == point_count(ndim)
+    assert rule.points.shape == (rule.npoints, ndim)
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 4, 5, 6, 7, 8, 9, 10, 12])
+def test_solved_weights_match_published_closed_forms(ndim):
+    """The moment solver must land exactly on the literature constants."""
+    rule = get_rule(ndim)
+    np.testing.assert_allclose(
+        rule.orbit_weights["w7"], published_degree7_orbit_weights(ndim),
+        rtol=1e-10, atol=1e-14,
+    )
+    np.testing.assert_allclose(
+        rule.orbit_weights["w5"], published_degree5_orbit_weights(ndim),
+        rtol=1e-10, atol=1e-14,
+    )
+
+
+@pytest.mark.parametrize("ndim", [2, 3, 5, 8])
+def test_weights_integrate_constant(ndim):
+    rule = get_rule(ndim)
+    for w in (rule.w7, rule.w5, rule.w3a, rule.w3b, rule.w1):
+        assert float(w.sum()) == pytest.approx(1.0, rel=1e-10)
+
+
+def _random_even_poly(rng, ndim, degree):
+    """Random polynomial of total degree <= degree as (coeffs, exponents)."""
+    n_terms = 6
+    exps = []
+    for _ in range(n_terms):
+        remaining = degree
+        e = np.zeros(ndim, dtype=int)
+        for d in rng.permutation(ndim):
+            k = rng.integers(0, remaining + 1)
+            e[d] = k
+            remaining -= k
+            if remaining == 0:
+                break
+        exps.append(e)
+    coeffs = rng.normal(size=n_terms)
+    return coeffs, np.array(exps)
+
+
+def _poly_cube_integral(coeffs, exps):
+    """Exact integral over [-1,1]^n normalised by volume."""
+    total = 0.0
+    for c, e in zip(coeffs, exps):
+        term = c
+        for k in e:
+            term *= 0.0 if k % 2 == 1 else 1.0 / (k + 1)
+        total += term
+    return total
+
+
+@settings(max_examples=20)
+@given(
+    ndim=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_degree7_exactness_on_random_polynomials(ndim, seed):
+    """Property: the main rule integrates any degree-7 polynomial exactly."""
+    rng = np.random.default_rng(seed)
+    rule = get_rule(ndim)
+    coeffs, exps = _random_even_poly(rng, ndim, 7)
+    vals = np.zeros(rule.npoints)
+    for c, e in zip(coeffs, exps):
+        vals += c * np.prod(rule.points**e[None, :], axis=1)
+    exact = _poly_cube_integral(coeffs, exps)
+    scale = max(1.0, float(np.abs(coeffs).sum()))
+    assert float(vals @ rule.w7) == pytest.approx(exact, abs=1e-10 * scale)
+
+
+@settings(max_examples=20)
+@given(
+    ndim=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_degree5_exactness(ndim, seed):
+    rng = np.random.default_rng(seed)
+    rule = get_rule(ndim)
+    coeffs, exps = _random_even_poly(rng, ndim, 5)
+    vals = np.zeros(rule.npoints)
+    for c, e in zip(coeffs, exps):
+        vals += c * np.prod(rule.points**e[None, :], axis=1)
+    exact = _poly_cube_integral(coeffs, exps)
+    scale = max(1.0, float(np.abs(coeffs).sum()))
+    assert float(vals @ rule.w5) == pytest.approx(exact, abs=1e-10 * scale)
+
+
+@pytest.mark.parametrize("which,degree", [("w3a", 3), ("w3b", 3), ("w1", 1)])
+def test_companion_rules_exact_at_their_degree(which, degree):
+    rng = np.random.default_rng(5)
+    for ndim in (2, 4, 7):
+        rule = get_rule(ndim)
+        w = getattr(rule, which)
+        coeffs, exps = _random_even_poly(rng, ndim, degree)
+        vals = np.zeros(rule.npoints)
+        for c, e in zip(coeffs, exps):
+            vals += c * np.prod(rule.points**e[None, :], axis=1)
+        exact = _poly_cube_integral(coeffs, exps)
+        scale = max(1.0, float(np.abs(coeffs).sum()))
+        assert float(vals @ w) == pytest.approx(exact, abs=1e-10 * scale)
+
+
+def test_degree5_not_exact_at_degree7():
+    """The error signal |I7 − I5| must be nonzero for degree-6 content."""
+    rule = get_rule(3)
+    vals = rule.points[:, 0] ** 6
+    i7 = float(vals @ rule.w7)
+    i5 = float(vals @ rule.w5)
+    assert i7 == pytest.approx(1.0 / 7.0, rel=1e-10)
+    assert abs(i7 - i5) > 1e-4
+
+
+def test_star_indices_point_where_expected():
+    rule = get_rule(4)
+    for axis in range(4):
+        p = rule.points[rule.idx2_plus[axis]]
+        m = rule.points[rule.idx2_minus[axis]]
+        assert p[axis] > 0 and m[axis] < 0
+        assert np.all(np.delete(p, axis) == 0.0)
+        np.testing.assert_allclose(p, -m)
+        p3 = rule.points[rule.idx3_plus[axis]]
+        assert abs(p3[axis]) > abs(p[axis])  # λ3 > λ2
+
+
+def test_rule_caching_is_identity():
+    assert get_rule(5) is get_rule(5)
+
+
+def test_flops_per_region_scales_with_integrand_cost():
+    rule = get_rule(4)
+    assert rule.flops_per_region(100.0) > rule.flops_per_region(10.0)
+    assert rule.flops_per_region(10.0) > rule.npoints * 10.0
+
+
+@pytest.mark.parametrize("bad", [0, 1, 25])
+def test_rule_rejects_unsupported_dimensions(bad):
+    from repro.errors import DimensionError
+
+    with pytest.raises(DimensionError):
+        get_rule(bad)

@@ -1,0 +1,96 @@
+"""Two-level (parent/sibling) error refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cubature.two_level import SHRINK_FLOOR, two_level_errors
+
+
+def test_agreeing_parent_shrinks_errors():
+    """Parent equals children sum exactly: raw errors shrink to the floor."""
+    v = np.array([1.0, 1.0])
+    e = np.array([0.2, 0.2])
+    parents = np.array([2.0])
+    out = two_level_errors(v, e, parents)
+    np.testing.assert_allclose(out, SHRINK_FLOOR * e)
+
+
+def test_disagreeing_parent_inflates_errors():
+    """Large parent/children gap: errors grow to cover the discrepancy."""
+    v = np.array([1.0, 1.0])
+    e = np.array([0.01, 0.03])
+    parents = np.array([3.0])  # delta = 1.0 >> e_a + e_b
+    out = two_level_errors(v, e, parents)
+    assert out[0] == pytest.approx(1.0 * 0.25)  # delta * share_a
+    assert out[1] == pytest.approx(1.0 * 0.75)
+    assert np.all(out >= e)
+
+
+def test_partial_agreement_interpolates():
+    v = np.array([1.0, 1.0])
+    e = np.array([0.5, 0.5])
+    parents = np.array([2.5])  # delta = 0.5 = half of e_a+e_b
+    out = two_level_errors(v, e, parents)
+    np.testing.assert_allclose(out, 0.5 * 0.5 * np.ones(2))
+
+
+def test_zero_error_children_agreeing_parent_stay_zero():
+    v = np.array([1.0, 1.0])
+    e = np.array([0.0, 0.0])
+    parents = np.array([2.0])
+    out = two_level_errors(v, e, parents)
+    np.testing.assert_array_equal(out, 0.0)
+
+
+def test_zero_error_children_disagreeing_parent_inherit_half():
+    v = np.array([1.0, 1.0])
+    e = np.array([0.0, 0.0])
+    parents = np.array([2.8])
+    out = two_level_errors(v, e, parents)
+    np.testing.assert_allclose(out, 0.4)
+
+
+def test_multiple_pairs_are_independent():
+    v = np.array([1.0, 1.0, 5.0, 5.0])
+    e = np.array([0.1, 0.1, 0.0, 0.0])
+    parents = np.array([2.0, 11.0])
+    out = two_level_errors(v, e, parents)
+    np.testing.assert_allclose(out[:2], SHRINK_FLOOR * 0.1)
+    np.testing.assert_allclose(out[2:], 0.5)
+
+
+def test_odd_children_rejected():
+    with pytest.raises(ValueError, match="even"):
+        two_level_errors(np.ones(3), np.ones(3), np.ones(1))
+
+
+def test_parent_count_mismatch_rejected():
+    with pytest.raises(ValueError, match="parent"):
+        two_level_errors(np.ones(4), np.ones(4), np.ones(3))
+
+
+@settings(max_examples=50)
+@given(
+    seed=st.integers(0, 100000),
+    k=st.integers(1, 30),
+)
+def test_refined_errors_always_nonnegative_and_bounded(seed, k):
+    """Properties: output >= 0 always; in the agreement regime output never
+    exceeds the raw error; in disagreement it never exceeds max(raw, delta)."""
+    rng = np.random.default_rng(seed)
+    v = rng.normal(size=2 * k)
+    e = np.abs(rng.normal(size=2 * k)) * rng.choice([0.0, 1.0], size=2 * k)
+    parents = rng.normal(size=k)
+    out = two_level_errors(v, e, parents)
+    assert np.all(out >= 0.0)
+    delta = np.abs(parents - (v[0::2] + v[1::2]))
+    esum = e[0::2] + e[1::2]
+    for i in range(k):
+        cap = max(e[2 * i], e[2 * i + 1], delta[i])
+        assert out[2 * i] <= cap + 1e-12
+        assert out[2 * i + 1] <= cap + 1e-12
+        if delta[i] <= esum[i]:
+            assert out[2 * i] <= e[2 * i] + 1e-12
+            assert out[2 * i + 1] <= e[2 * i + 1] + 1e-12

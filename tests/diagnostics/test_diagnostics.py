@@ -1,0 +1,97 @@
+"""Diagnostics: imbalance reports, tree shapes, kernel breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.diagnostics.breakdown import CATEGORIES, kernel_breakdown
+from repro.diagnostics.imbalance import ImbalanceReport, partition_imbalance
+from repro.diagnostics.tree import TreeShape, cuhre_tree_shape, tree_shape_from_trace
+from repro.integrands.base import Integrand
+from tests.conftest import gaussian_nd
+
+
+# ---------------------------------------------------------------------------
+# imbalance
+# ---------------------------------------------------------------------------
+def test_partition_imbalance_flags_peaky_cell():
+    def fn(x):
+        # peak well inside one quadrant so the 2x2 partition isolates it
+        return np.exp(-2000.0 * ((x[:, 0] - 0.75) ** 2 + (x[:, 1] - 0.7) ** 2))
+
+    f = Integrand(fn=fn, ndim=2, name="2D peak")
+    report = partition_imbalance(f, 2, splits_per_axis=2, rel_tol=1e-7,
+                                 max_eval_per_processor=300_000)
+    assert report.n_processors == 4
+    # the peak lives in one quadrant; that processor dominates
+    assert report.max_over_mean > 1.5
+    assert 0.0 < report.parallel_efficiency < 1.0
+    assert "imbalance" in report.summary()
+
+
+def test_uniform_integrand_is_balanced():
+    f = Integrand(fn=lambda x: np.ones(x.shape[0]), ndim=2)
+    report = partition_imbalance(f, 2, splits_per_axis=2, rel_tol=1e-4)
+    assert report.max_over_mean == pytest.approx(1.0)
+    assert report.parallel_efficiency == pytest.approx(1.0)
+
+
+def test_imbalance_report_dataclass():
+    r = ImbalanceReport(subdivisions=np.array([10.0, 10.0]), nevals=np.array([1.0, 1.0]))
+    assert r.max_over_mean == 1.0
+    zero = ImbalanceReport(subdivisions=np.zeros(2), nevals=np.zeros(2))
+    assert zero.parallel_efficiency == 1.0
+
+
+# ---------------------------------------------------------------------------
+# tree shapes
+# ---------------------------------------------------------------------------
+def test_tree_shape_from_pagani_trace():
+    g = gaussian_nd(3)
+    res = PaganiIntegrator(PaganiConfig(rel_tol=1e-6)).integrate(g, 3)
+    shape = tree_shape_from_trace(res)
+    assert shape.method == "pagani"
+    assert shape.depth == len(res.trace)
+    assert shape.total_regions == res.nregions
+    assert shape.max_width >= shape.level_widths[0]
+    assert "depth" in shape.summary()
+
+
+def test_cuhre_tree_shape_from_depths():
+    shape = cuhre_tree_shape([0, 1, 1, 2, 2, 2, 5])
+    assert shape.level_widths == [1, 2, 3, 0, 0, 1]
+    assert shape.depth == 6
+    assert shape.total_regions == 7
+
+
+def test_cuhre_tree_shape_with_finished():
+    shape = cuhre_tree_shape([0, 1, 1], finished_depths=[1])
+    assert shape.finished_per_level == [0, 1]
+
+
+def test_empty_tree_shape():
+    shape = TreeShape(method="x", level_widths=[], finished_per_level=[])
+    assert shape.max_width == 0
+    assert shape.total_regions == 0
+
+
+# ---------------------------------------------------------------------------
+# breakdown
+# ---------------------------------------------------------------------------
+def test_kernel_breakdown_groups_and_sums():
+    g = gaussian_nd(3)
+    integ = PaganiIntegrator(PaganiConfig(rel_tol=1e-6))
+    integ.integrate(g, 3)
+    shares = kernel_breakdown(integ.device)
+    assert shares, "breakdown must not be empty"
+    assert sum(s.share for s in shares) == pytest.approx(1.0)
+    assert shares == sorted(shares, key=lambda s: s.seconds, reverse=True)
+    cats = {s.category for s in shares}
+    assert "evaluate" in cats
+    assert cats <= set(CATEGORIES.values()) | {"other"}
+
+
+def test_breakdown_empty_device():
+    from repro.gpu.device import VirtualDevice
+
+    assert kernel_breakdown(VirtualDevice()) == []

@@ -1,0 +1,113 @@
+"""Virtual device: specs, efficiency curve, cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.gpu.device import CpuSpec, DeviceSpec, VirtualDevice
+
+
+def test_v100_preset_matches_paper():
+    spec = DeviceSpec.v100()
+    assert spec.peak_gflops_fp64 == pytest.approx(7834.0)  # 7.834 TFLOP/s
+    assert spec.mem_capacity == 16 * 1024**3  # 16 GB
+    assert spec.n_sms == 80
+
+
+def test_scaled_preset_only_shrinks_memory():
+    base = DeviceSpec.v100()
+    scaled = DeviceSpec.scaled(mem_mb=64)
+    assert scaled.mem_capacity == 64 * 1024**2
+    assert scaled.peak_gflops_fp64 == base.peak_gflops_fp64
+    assert scaled.launch_overhead_us == base.launch_overhead_us
+
+
+def test_efficiency_curve_saturates():
+    spec = DeviceSpec.v100()
+    assert spec.efficiency(0) == 0.0
+    assert spec.efficiency(spec.eff_half_workload) == pytest.approx(spec.eff_max / 2)
+    assert spec.efficiency(1e9) == pytest.approx(spec.eff_max, rel=1e-3)
+    # monotone
+    effs = [spec.efficiency(n) for n in (10, 100, 1000, 10000, 100000)]
+    assert effs == sorted(effs)
+
+
+def test_launch_executes_and_charges():
+    dev = VirtualDevice()
+    out = dev.launch(
+        "square", lambda a: a * a, np.arange(4.0),
+        work_items=4, flops_per_item=1.0,
+    )
+    np.testing.assert_array_equal(out, [0.0, 1.0, 4.0, 9.0])
+    st_ = dev.stats()["square"]
+    assert st_.launches == 1
+    assert st_.flops == 4.0
+    assert dev.elapsed_seconds > 0.0
+
+
+def test_launch_overhead_dominates_tiny_kernels():
+    dev = VirtualDevice()
+    t = dev.charge_kernel("tiny", work_items=1, flops_per_item=1.0)
+    assert t == pytest.approx(dev.spec.launch_overhead_us * 1e-6, rel=0.05)
+
+
+def test_compute_vs_memory_roofline():
+    dev = VirtualDevice()
+    t_compute = dev.charge_kernel("c", work_items=1_000_000, flops_per_item=1e4)
+    t_mem = dev.charge_kernel("m", work_items=1_000_000, bytes_per_item=8.0)
+    # the flop-heavy kernel must cost more than the byte-light one
+    assert t_compute > t_mem
+
+
+def test_time_accumulates_and_resets():
+    dev = VirtualDevice()
+    dev.charge_kernel("a", work_items=1000, flops_per_item=10.0)
+    dev.charge_kernel("a", work_items=1000, flops_per_item=10.0)
+    assert dev.stats()["a"].launches == 2
+    t = dev.elapsed_seconds
+    assert t > 0
+    dev.reset_clock()
+    assert dev.elapsed_seconds == 0.0
+    assert dev.stats() == {}
+
+
+def test_negative_work_items_rejected():
+    dev = VirtualDevice()
+    with pytest.raises(KernelError):
+        dev.launch("bad", lambda: None, work_items=-1)
+
+
+def test_negative_makespan_rejected():
+    dev = VirtualDevice()
+    with pytest.raises(KernelError):
+        dev.charge_makespan("bad", -1.0)
+
+
+def test_breakdown_sorted_and_shares_sum_to_one():
+    dev = VirtualDevice()
+    dev.charge_kernel("big", work_items=100000, flops_per_item=1e4)
+    dev.charge_kernel("small", work_items=10, flops_per_item=1.0)
+    rows = dev.breakdown()
+    assert rows[0][0] == "big"
+    assert sum(share for _, _, share in rows) == pytest.approx(1.0)
+
+
+def test_cpu_spec_seconds():
+    cpu = CpuSpec(effective_gflops=2.0)
+    assert cpu.seconds_for_flops(2e9) == pytest.approx(1.0)
+
+
+@given(
+    n1=st.integers(1, 10**7),
+    n2=st.integers(1, 10**7),
+    fpi=st.floats(min_value=1.0, max_value=1e5),
+)
+def test_charge_monotone_in_work(n1, n2, fpi):
+    """Property: more work items never cost less simulated time."""
+    dev = VirtualDevice()
+    lo, hi = min(n1, n2), max(n1, n2)
+    t_lo = dev.charge_kernel("k", work_items=lo, flops_per_item=fpi)
+    t_hi = dev.charge_kernel("k", work_items=hi, flops_per_item=fpi)
+    assert t_hi >= t_lo - 1e-15

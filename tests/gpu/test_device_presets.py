@@ -1,0 +1,33 @@
+"""Device preset coverage and spec arithmetic."""
+
+import pytest
+
+from repro.gpu.device import DeviceSpec
+
+
+def test_parallel_slots():
+    spec = DeviceSpec.v100()
+    assert spec.parallel_slots == spec.n_sms * spec.blocks_per_sm == 640
+
+
+def test_scaled_custom_name():
+    spec = DeviceSpec.scaled(mem_mb=32, name="unit-device")
+    assert spec.name == "unit-device"
+    assert spec.mem_capacity == 32 * 1024**2
+
+
+def test_scaled_default_name_mentions_memory():
+    spec = DeviceSpec.scaled(mem_mb=48)
+    assert "48" in spec.name
+
+
+def test_spec_is_frozen():
+    spec = DeviceSpec.v100()
+    with pytest.raises(AttributeError):
+        spec.n_sms = 1  # type: ignore[misc]
+
+
+def test_efficiency_never_exceeds_max():
+    spec = DeviceSpec.a100()
+    for n in (0, 1, 10, 1e3, 1e6, 1e12):
+        assert 0.0 <= spec.efficiency(n) <= spec.eff_max + 1e-15

@@ -1,0 +1,114 @@
+"""Device memory pool accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DeviceMemoryError
+from repro.gpu.memory import MemoryPool
+
+
+def test_alloc_free_roundtrip():
+    pool = MemoryPool(1000)
+    h = pool.alloc(400)
+    assert pool.in_use == 400
+    assert pool.available == 600
+    pool.free(h)
+    assert pool.in_use == 0
+    assert pool.n_allocations == 0
+
+
+def test_oom_carries_shortfall():
+    pool = MemoryPool(100)
+    pool.alloc(80)
+    with pytest.raises(DeviceMemoryError) as exc:
+        pool.alloc(50)
+    assert exc.value.requested == 50
+    assert exc.value.available == 20
+    # failed allocation must not leak accounting
+    assert pool.in_use == 80
+
+
+def test_exact_fit_succeeds():
+    pool = MemoryPool(100)
+    pool.alloc(100)
+    assert pool.available == 0
+    with pytest.raises(DeviceMemoryError):
+        pool.alloc(1)
+
+
+def test_double_free_detected():
+    pool = MemoryPool(10)
+    h = pool.alloc(5)
+    pool.free(h)
+    with pytest.raises(KeyError):
+        pool.free(h)
+
+
+def test_resize_grows_and_shrinks():
+    pool = MemoryPool(100)
+    h = pool.alloc(10)
+    pool.resize(h, 60)
+    assert pool.in_use == 60
+    pool.resize(h, 5)
+    assert pool.in_use == 5
+    with pytest.raises(DeviceMemoryError):
+        pool.resize(h, 200)
+    assert pool.in_use == 5  # failed resize leaves state intact
+
+
+def test_peak_tracking():
+    pool = MemoryPool(100)
+    h1 = pool.alloc(40)
+    h2 = pool.alloc(50)
+    pool.free(h1)
+    pool.free(h2)
+    assert pool.peak_in_use == 90
+    assert pool.in_use == 0
+
+
+def test_reset_clears_everything():
+    pool = MemoryPool(100)
+    pool.alloc(70)
+    pool.reset()
+    assert pool.in_use == 0
+    assert pool.can_fit(100)
+
+
+def test_zero_allocation_allowed():
+    pool = MemoryPool(10)
+    h = pool.alloc(0)
+    assert pool.in_use == 0
+    pool.free(h)
+
+
+@pytest.mark.parametrize("bad", [0, -5])
+def test_invalid_capacity_rejected(bad):
+    with pytest.raises(ValueError):
+        MemoryPool(bad)
+
+
+def test_negative_allocation_rejected():
+    pool = MemoryPool(10)
+    with pytest.raises(ValueError):
+        pool.alloc(-1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), max_size=30))
+def test_accounting_invariant_under_random_ops(sizes):
+    """Property: in_use always equals the sum of live allocations and never
+    exceeds capacity."""
+    pool = MemoryPool(500)
+    live = {}
+    for s in sizes:
+        try:
+            h = pool.alloc(s)
+            live[h] = s
+        except DeviceMemoryError:
+            # free the largest live allocation and continue
+            if live:
+                big = max(live, key=live.get)
+                pool.free(big)
+                del live[big]
+        assert pool.in_use == sum(live.values())
+        assert 0 <= pool.in_use <= 500

@@ -1,0 +1,70 @@
+"""Block scheduler: makespan bounds and imbalance statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.scheduler import BlockScheduler
+
+
+def test_fewer_blocks_than_slots():
+    rep = BlockScheduler(8).schedule([1.0, 2.0, 3.0])
+    assert rep.makespan == 3.0
+    assert rep.total_work == 6.0
+
+
+def test_perfectly_balanced():
+    rep = BlockScheduler(4).schedule([1.0] * 8)
+    assert rep.makespan == pytest.approx(2.0)
+    assert rep.imbalance == pytest.approx(1.0)
+    assert rep.utilisation == pytest.approx(1.0)
+
+
+def test_single_straggler_dominates():
+    """One 100x block stalls the device — the Figure 1 phenomenon."""
+    durations = [100.0] + [1.0] * 99
+    rep = BlockScheduler(10).schedule(durations)
+    assert rep.makespan >= 100.0
+    assert rep.utilisation < 0.25
+
+
+def test_empty_schedule():
+    rep = BlockScheduler(4).schedule([])
+    assert rep.makespan == 0.0
+    assert rep.utilisation == 1.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        BlockScheduler(2).schedule([1.0, -0.5])
+
+
+def test_invalid_slot_count_rejected():
+    with pytest.raises(ValueError):
+        BlockScheduler(0)
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=300
+    ),
+    slots=st.integers(min_value=1, max_value=64),
+)
+def test_makespan_bounds(durations, slots):
+    """Property: lower bound max(total/slots, max) <= makespan <= greedy
+    upper bound (lower bound + max duration); slot busy times sum to the
+    total work."""
+    rep = BlockScheduler(slots).schedule(durations)
+    total = sum(durations)
+    mx = max(durations)
+    lower = max(total / slots, mx)
+    assert rep.makespan >= lower - 1e-9
+    assert rep.makespan <= lower + mx + 1e-9
+    assert rep.imbalance >= 1.0 - 1e-12
+    assert float(rep.slot_busy.sum()) == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+
+def test_single_slot_serialises():
+    rep = BlockScheduler(1).schedule([3.0, 1.0, 2.0])
+    assert rep.makespan == pytest.approx(6.0)

@@ -1,0 +1,53 @@
+"""Integrand wrapper types."""
+
+import numpy as np
+import pytest
+
+from repro.integrands.base import Integrand, ScalarIntegrand
+
+
+def test_integrand_callable_passthrough():
+    f = Integrand(fn=lambda x: x[:, 0] * 2, ndim=2, name="double-x0")
+    pts = np.array([[1.0, 0.0], [2.0, 5.0]])
+    np.testing.assert_array_equal(f(pts), [2.0, 4.0])
+
+
+def test_with_name_preserves_everything_else():
+    f = Integrand(
+        fn=lambda x: x[:, 0], ndim=3, name="a", reference=1.5,
+        flops_per_eval=77.0, sign_definite=False, notes="hello",
+    )
+    g = f.with_name("b")
+    assert g.name == "b"
+    assert g.reference == 1.5
+    assert g.flops_per_eval == 77.0
+    assert not g.sign_definite
+    assert g.notes == "hello"
+    assert g.fn is f.fn
+
+
+def test_scalar_adapter_matches_batch():
+    def scalar(x):
+        return float(np.sum(x**2))
+
+    adapter = ScalarIntegrand(scalar, flops_per_eval=10.0)
+    pts = np.random.default_rng(0).random((20, 3))
+    out = adapter(pts)
+    expected = np.sum(pts**2, axis=1)
+    np.testing.assert_allclose(out, expected, rtol=1e-15)
+    assert adapter.flops_per_eval == 10.0
+
+
+def test_scalar_adapter_promotes_1d_point():
+    adapter = ScalarIntegrand(lambda x: float(x[0]))
+    out = adapter(np.array([3.0, 1.0]))
+    assert out.shape == (1,)
+    assert out[0] == 3.0
+
+
+def test_defaults():
+    f = Integrand(fn=lambda x: x[:, 0], ndim=2)
+    assert f.reference is None
+    assert f.sign_definite
+    assert f.flops_per_eval == 50.0
+    assert f.name == ""

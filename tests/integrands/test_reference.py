@@ -1,0 +1,160 @@
+"""Semi-analytic reference machinery: densities, panels, box integrals."""
+
+import numpy as np
+import pytest
+from fractions import Fraction
+
+from repro.reference.boxint import (
+    box_integral,
+    box_moment_exact,
+    expect_s2,
+    expect_s4,
+    expect_s8,
+    h2_density,
+    h4_density,
+    integrate_panels,
+)
+
+
+# ---------------------------------------------------------------------------
+# exact rational moments
+# ---------------------------------------------------------------------------
+def test_moment_k0_is_one():
+    assert box_moment_exact(5, 0) == Fraction(1)
+
+
+def test_moment_first_is_n_thirds():
+    for n in (1, 2, 8):
+        assert box_moment_exact(n, 1) == Fraction(n, 3)
+
+
+def test_moment_second_matches_hand_computation():
+    # E[(x^2+y^2)^2] = E[x^4] + 2E[x^2]E[y^2] + E[y^4] = 1/5 + 2/9 + 1/5
+    assert box_moment_exact(2, 2) == Fraction(1, 5) + Fraction(2, 9) + Fraction(1, 5)
+
+
+def test_moment_monotone_in_k():
+    # S_8 >= 1 has positive probability mass, moments grow quickly
+    vals = [float(box_moment_exact(8, k)) for k in range(5)]
+    assert vals[0] == 1.0
+    assert all(b > a * 0 for a, b in zip(vals, vals[1:]))
+
+
+def test_moment_invalid_args():
+    with pytest.raises(ValueError):
+        box_moment_exact(0, 1)
+    with pytest.raises(ValueError):
+        box_moment_exact(2, -1)
+
+
+# ---------------------------------------------------------------------------
+# h2 density
+# ---------------------------------------------------------------------------
+def test_h2_piecewise_values():
+    assert h2_density(np.array([0.5]))[0] == pytest.approx(np.pi / 4)
+    assert h2_density(np.array([1.0]))[0] == pytest.approx(np.pi / 4)
+    assert h2_density(np.array([2.0]))[0] == pytest.approx(0.0, abs=1e-12)
+    assert h2_density(np.array([2.5]))[0] == 0.0
+    assert h2_density(np.array([-0.1]))[0] == 0.0
+
+
+def test_h2_integrates_to_one():
+    val = integrate_panels(h2_density, 0.0, 2.0, breakpoints=[1.0],
+                           sqrt_singularities=[1.0])
+    assert val == pytest.approx(1.0, rel=1e-13)
+
+
+def test_h2_mean_is_two_thirds():
+    val = integrate_panels(lambda t: t * h2_density(t), 0.0, 2.0,
+                           breakpoints=[1.0], sqrt_singularities=[1.0])
+    assert val == pytest.approx(2.0 / 3.0, rel=1e-12)
+
+
+def test_h4_density_normalised():
+    grid = np.linspace(0, 4, 9)
+    val = integrate_panels(
+        lambda t: np.array([h4_density(v) for v in np.atleast_1d(t)]),
+        0.0, 4.0, breakpoints=[1.0, 2.0, 3.0],
+        sqrt_singularities=[1.0, 2.0, 3.0],
+    )
+    assert val == pytest.approx(1.0, rel=1e-10)
+    assert h4_density(-0.5) == 0.0
+    assert h4_density(4.5) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# panel integrator
+# ---------------------------------------------------------------------------
+def test_panels_polynomial_exact():
+    val = integrate_panels(lambda x: 3 * x**2, 0.0, 2.0)
+    assert val == pytest.approx(8.0, rel=1e-14)
+
+
+def test_panels_with_breakpoints():
+    f = lambda x: np.where(x < 1.0, x, 2.0 - x)  # tent with kink at 1
+    val = integrate_panels(f, 0.0, 2.0, breakpoints=[1.0])
+    assert val == pytest.approx(1.0, rel=1e-14)
+
+
+def test_panels_sqrt_singularity_handled():
+    """∫_0^1 √x dx = 2/3 with a cusp at 0: substitution restores spectral
+    accuracy that plain Gauss would miss at 1e-14 level."""
+    val = integrate_panels(lambda x: np.sqrt(x), 0.0, 1.0,
+                           sqrt_singularities=[0.0])
+    assert val == pytest.approx(2.0 / 3.0, rel=1e-14)
+
+
+def test_panels_double_singular_endpoint_split():
+    # both endpoints flagged: ∫_0^1 sqrt(x(1-x)) dx = π/8
+    val = integrate_panels(
+        lambda x: np.sqrt(x * (1.0 - x)), 0.0, 1.0,
+        sqrt_singularities=[0.0, 1.0],
+    )
+    assert val == pytest.approx(np.pi / 8.0, rel=1e-13)
+
+
+def test_panels_empty_interval():
+    assert integrate_panels(lambda x: x, 1.0, 1.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# expectations and box integrals
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("expect,n", [(expect_s2, 2), (expect_s4, 4), (expect_s8, 8)])
+def test_expectations_match_exact_moments(expect, n):
+    for k in (0, 1, 2, 3, 7):
+        exact = float(box_moment_exact(n, k))
+        num = expect(lambda t, k=k: np.power(t, float(k)))
+        assert num == pytest.approx(exact, rel=5e-12), (n, k)
+
+
+def test_expect_s8_matches_f7_moment():
+    """The certification test: the same pipeline that produces the f8
+    reference must reproduce f7's exact rational value."""
+    exact = float(box_moment_exact(8, 11))
+    num = expect_s8(lambda t: np.power(t, 11.0))
+    assert num == pytest.approx(exact, rel=1e-11)
+
+
+def test_box_integral_even_uses_exact_path():
+    assert box_integral(8, 22) == float(box_moment_exact(8, 11))
+
+
+def test_box_integral_b8_15_stable_across_resolutions():
+    a = box_integral(8, 15, n_nodes=48)
+    b = box_integral(8, 15, n_nodes=64)
+    assert a == pytest.approx(b, rel=1e-10)
+    assert 8000 < a < 10000  # coarse sanity bracket
+
+
+def test_box_integral_validation():
+    with pytest.raises(ValueError):
+        box_integral(8, -1)
+    with pytest.raises(ValueError):
+        box_integral(5, 15)
+
+
+def test_box_integral_b2_1_matches_known_constant():
+    """B_2(1) = (√2 + asinh(1))/3 ≈ 0.7652, a classic box-integral value."""
+    expected = (np.sqrt(2.0) + np.arcsinh(1.0)) / 3.0
+    assert box_integral(2, 1) == pytest.approx(expected, rel=1e-12)

@@ -1,0 +1,85 @@
+"""Domain transforms: semi-infinite, infinite, Gaussian measure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import integrate
+from repro.integrands.base import Integrand
+from repro.integrands.transforms import gaussian_measure, infinite, semi_infinite
+
+
+def test_semi_infinite_exponential():
+    """∫_[0,∞)^2 e^{-x-y} dx dy = 1."""
+    f = semi_infinite(lambda x: np.exp(-np.sum(x, axis=1)), 2)
+    res = integrate(f, 2, rel_tol=1e-8)
+    assert res.converged
+    assert res.estimate == pytest.approx(1.0, rel=1e-7)
+
+
+def test_semi_infinite_scale_changes_nothing_mathematically():
+    """∫∫ x² e^{-x-y} = Γ(3) = 2, independent of the map's scale knob."""
+    truth = math.gamma(3.0)
+    g = lambda x: x[:, 0] ** 2 * np.exp(-np.sum(x, axis=1))
+    r1 = integrate(semi_infinite(g, 2, scale=1.0), 2, rel_tol=1e-8)
+    r2 = integrate(semi_infinite(g, 2, scale=3.0), 2, rel_tol=1e-8)
+    assert r1.estimate == pytest.approx(truth, rel=1e-6)
+    assert r2.estimate == pytest.approx(r1.estimate, rel=1e-6)
+
+
+def test_infinite_gaussian():
+    """∫_R^2 e^{-|x|²} = π."""
+    f = infinite(lambda x: np.exp(-np.sum(x * x, axis=1)), 2)
+    res = integrate(f, 2, rel_tol=1e-8)
+    assert res.converged
+    assert res.estimate == pytest.approx(math.pi, rel=1e-7)
+
+
+def test_infinite_heavy_center_with_scale():
+    """A tight Gaussian needs a matched scale to integrate efficiently."""
+    c = 100.0
+    f = infinite(lambda x: np.exp(-c * np.sum(x * x, axis=1)), 2, scale=0.1)
+    res = integrate(f, 2, rel_tol=1e-7)
+    assert res.estimate == pytest.approx(math.pi / c, rel=1e-6)
+
+
+def test_gaussian_measure_mean_of_linear():
+    """E[a·z + b] under N(mu, I) = a·mu + b."""
+    a = np.array([2.0, -3.0, 1.0])
+    mu = np.array([0.5, 1.5, -1.0])
+    f = gaussian_measure(lambda z: z @ a + 7.0, 3, mean=mu)
+    res = integrate(f, 3, rel_tol=1e-7, relerr_filtering=False)
+    assert res.estimate == pytest.approx(float(a @ mu) + 7.0, rel=1e-5)
+
+
+def test_gaussian_measure_second_moment_with_cholesky():
+    """E[z1²] under N(0, LLᵀ) = (LLᵀ)_{11}."""
+    L = np.array([[2.0, 0.0], [1.0, 1.5]])
+    f = gaussian_measure(lambda z: z[:, 0] ** 2, 2, chol=L)
+    res = integrate(f, 2, rel_tol=1e-7)
+    assert res.estimate == pytest.approx(4.0, rel=1e-5)
+
+
+def test_metadata_propagates():
+    base = Integrand(
+        fn=lambda x: np.exp(-np.sum(x, axis=1)), ndim=2, name="expo",
+        flops_per_eval=20.0, sign_definite=True,
+    )
+    t = semi_infinite(base, 2)
+    assert "expo" in t.name
+    assert t.flops_per_eval > base.flops_per_eval
+    assert t.sign_definite
+
+
+@pytest.mark.parametrize("factory", [semi_infinite, infinite])
+def test_scale_validation(factory):
+    with pytest.raises(ValueError):
+        factory(lambda x: np.ones(x.shape[0]), 2, scale=0.0)
+
+
+def test_gaussian_measure_shape_validation():
+    with pytest.raises(ValueError):
+        gaussian_measure(lambda z: z[:, 0], 2, mean=[1.0])
+    with pytest.raises(ValueError):
+        gaussian_measure(lambda z: z[:, 0], 2, chol=np.eye(3))

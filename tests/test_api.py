@@ -1,0 +1,94 @@
+"""Top-level integrate() dispatch."""
+
+import numpy as np
+import pytest
+
+from repro import Status, integrate
+from repro.errors import ConfigurationError
+from repro.integrands.genz import GenzFamily, make_genz
+from tests.conftest import gaussian_nd
+
+
+@pytest.mark.parametrize("method", ["pagani", "cuhre", "two_phase", "qmc"])
+def test_all_methods_dispatch_and_converge(method):
+    g = gaussian_nd(3, c=20.0)
+    res = integrate(g, 3, rel_tol=1e-4, method=method, max_eval=20_000_000)
+    assert res.converged
+    assert res.estimate == pytest.approx(g.reference, rel=1e-3)
+    assert res.method.startswith(method.split("_")[0]) or method == "two_phase"
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ConfigurationError, match="unknown method"):
+        integrate(lambda x: np.ones(x.shape[0]), 2, method="vegas")
+
+
+def test_true_value_filled_from_integrand_metadata():
+    g = gaussian_nd(3)
+    res = integrate(g, 3, rel_tol=1e-5)
+    assert res.true_value == pytest.approx(g.reference)
+    assert res.true_rel_error() is not None
+    assert res.true_rel_error() <= 1e-5
+
+
+def test_plain_callable_has_no_true_value():
+    res = integrate(lambda x: np.ones(x.shape[0]), 2, rel_tol=1e-4)
+    assert res.true_value is None
+    assert res.true_rel_error() is None
+    assert res.estimate == pytest.approx(1.0, rel=1e-10)
+
+
+def test_relerr_filtering_inferred_from_sign_definite():
+    f = make_genz(GenzFamily.OSCILLATORY, 3, seed=4)
+    assert not f.sign_definite
+    # should integrate fine because the flag is auto-disabled
+    res = integrate(f, 3, rel_tol=1e-6)
+    assert abs(res.estimate - f.reference) / abs(f.reference) <= 1e-5
+
+
+def test_explicit_filtering_override():
+    g = gaussian_nd(2)
+    res = integrate(g, 2, rel_tol=1e-5, relerr_filtering=False)
+    assert res.converged
+
+
+def test_max_iterations_forwarded():
+    g = gaussian_nd(3, c=2000.0)
+    res = integrate(g, 3, rel_tol=1e-10, max_iterations=2)
+    assert res.status is Status.MAX_ITERATIONS
+    assert res.iterations == 2
+
+
+def test_max_eval_forwarded_to_cuhre():
+    g = gaussian_nd(3, c=2000.0)
+    res = integrate(g, 3, rel_tol=1e-12, method="cuhre", max_eval=40_000)
+    assert res.status is Status.MAX_EVALUATIONS
+    assert res.neval <= 40_000
+
+
+def test_custom_device_is_used():
+    from repro import DeviceSpec, VirtualDevice
+
+    dev = VirtualDevice(DeviceSpec.scaled(mem_mb=32))
+    g = gaussian_nd(3)
+    res = integrate(g, 3, rel_tol=1e-5, device=dev)
+    assert res.converged
+    assert dev.elapsed_seconds > 0.0
+
+
+def test_bounds_forwarded():
+    f = lambda x: np.ones(x.shape[0])
+    res = integrate(f, 2, rel_tol=1e-6, bounds=[(0.0, 3.0), (0.0, 2.0)])
+    assert res.estimate == pytest.approx(6.0, rel=1e-10)
+
+
+def test_scalar_integrand_adapter():
+    from repro import ScalarIntegrand
+
+    f = ScalarIntegrand(lambda x: float(np.exp(-np.sum(x * x))))
+    res = integrate(f, 2, rel_tol=1e-4)
+    assert res.converged
+    from math import erf, pi, sqrt
+
+    truth = (sqrt(pi) / 2 * erf(1.0)) ** 2
+    assert res.estimate == pytest.approx(truth, rel=1e-4)

@@ -1,0 +1,109 @@
+"""Unit tests for the benchmark harness utilities (no integration runs)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+import harness as hz  # noqa: E402
+from harness import SweepRow  # noqa: E402
+
+
+def _row(integrand="5D f4", method="pagani", digits=3, converged=True,
+         true_rel=1e-4, sim_ms=1.0, status="converged_rel"):
+    return SweepRow(
+        integrand=integrand, method=method, digits=digits, converged=converged,
+        status=status, estimate=1.0, errorest=1e-4, true_rel_error=true_rel,
+        sim_ms=sim_ms, nregions=100, neval=1000,
+    )
+
+
+def test_digits_for_known_and_unknown():
+    assert hz.digits_for("5D f4")
+    assert hz.digits_for("unknown-integrand") == [3, 4, 5]
+
+
+def test_select_filters_rows():
+    rows = [_row(), _row(method="cuhre"), _row(integrand="8D f7")]
+    out = hz.select(rows, "5D f4", "pagani")
+    assert len(out) == 1
+    assert out[0].method == "pagani"
+
+
+def test_max_converged_digits_honours_truthfulness():
+    rows = [
+        _row(digits=3, converged=True, true_rel=1e-4),
+        _row(digits=4, converged=True, true_rel=1e-5),
+        # claims convergence at 5 digits but true error is 1e-2: not truthful
+        _row(digits=5, converged=True, true_rel=1e-2),
+        _row(digits=6, converged=False),
+    ]
+    assert hz.max_converged_digits(rows, "5D f4", "pagani") == 4
+
+
+def test_write_csv_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setattr(hz, "RESULTS_DIR", tmp_path)
+    rows = [_row(), _row(digits=4)]
+    path = hz.write_csv(rows, "unit.csv")
+    text = path.read_text()
+    assert "integrand" in text.splitlines()[0]
+    assert len(text.splitlines()) == 3
+
+
+def test_sweep_disk_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setattr(hz, "RESULTS_DIR", tmp_path)
+    rows = [_row(), _row(method="cuhre", converged=False, status="max_evaluations")]
+    hz._store_cached("unit", rows)
+    loaded = hz._load_cached("unit")
+    assert loaded == rows
+
+
+def test_sweep_cache_miss_returns_none(tmp_path, monkeypatch):
+    monkeypatch.setattr(hz, "RESULTS_DIR", tmp_path)
+    assert hz._load_cached("nothing-here") is None
+
+
+def test_cached_sweep_calls_compute_once(tmp_path, monkeypatch):
+    monkeypatch.setattr(hz, "RESULTS_DIR", tmp_path)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return [_row()]
+
+    hz._SWEEP_CACHE.pop("unitk", None)
+    a = hz._cached_sweep("unitk", compute)
+    b = hz._cached_sweep("unitk", compute)
+    assert a == b
+    assert len(calls) == 1
+    hz._SWEEP_CACHE.pop("unitk", None)
+    # second process simulation: memory cache cleared, disk cache hits
+    c = hz._cached_sweep("unitk", compute)
+    assert c == a
+    assert len(calls) == 1
+    hz._SWEEP_CACHE.pop("unitk", None)
+
+
+def test_print_table_formats(capsys):
+    hz.print_table(
+        "T", ["a", "bb"], [["1", "22"], ["333", "4"]], paper_note="note"
+    )
+    out = capsys.readouterr().out
+    assert "=== T ===" in out
+    assert "paper: note" in out
+    assert "333" in out
+
+
+def test_fmt_e():
+    assert hz.fmt_e(1.5e-3) == "1.50e-03"
+    assert hz.fmt_e(float("nan")) == "-"
+    assert hz.fmt_e(float("inf")) == "-"
+
+
+def test_integrand_catalogues_have_references():
+    for cat in (hz.sweep_integrands(), hz.speedup_integrands(), hz.qmc_integrands()):
+        for name, integrand in cat.items():
+            assert integrand.reference is not None, name
+            assert integrand.ndim == int(name.split("D")[0])

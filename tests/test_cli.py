@@ -1,0 +1,56 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main, named_integrand
+
+
+def test_named_integrand_parsing():
+    f = named_integrand("8D-f7")
+    assert f.ndim == 8 and "f7" in f.name
+    f = named_integrand("3d-f3")
+    assert f.ndim == 3
+    f = named_integrand("4D-genz-gaussian")
+    assert f.ndim == 4 and "gaussian" in f.name
+
+
+@pytest.mark.parametrize("bad", ["f7", "8Q-f7", "8D-f99", "8D-genz", "8D-genz-bogus"])
+def test_named_integrand_rejects_bad_specs(bad):
+    with pytest.raises(ValueError):
+        named_integrand(bad)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "f7" in out and "genz" in out
+
+
+def test_run_command_converges(capsys):
+    rc = main(["run", "--integrand", "3D-f3", "--rel-tol", "1e-4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "true rel error" in out
+    assert "pagani" in out
+
+
+def test_run_command_failure_exit_code(capsys):
+    # absurd tolerance with tiny budget: cuhre cannot converge -> rc 1
+    rc = main(
+        [
+            "run", "--integrand", "3D-f4", "--method", "cuhre",
+            "--rel-tol", "1e-12", "--max-eval", "20000",
+        ]
+    )
+    assert rc == 1
+
+
+def test_compare_command(capsys):
+    rc = main(
+        ["compare", "--integrand", "3D-f3", "--rel-tol", "1e-3",
+         "--max-eval", "3000000"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    for m in ("pagani", "two_phase", "cuhre", "qmc"):
+        assert m in out

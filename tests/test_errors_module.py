@@ -1,0 +1,47 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    DeviceMemoryError,
+    DimensionError,
+    IntegrationError,
+    KernelError,
+    ReproError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(ConfigurationError, ReproError)
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(DimensionError, ConfigurationError)
+    assert issubclass(DeviceMemoryError, DeviceError)
+    assert issubclass(DeviceMemoryError, MemoryError)
+    assert issubclass(KernelError, DeviceError)
+    assert issubclass(IntegrationError, ReproError)
+
+
+def test_device_memory_error_payload():
+    err = DeviceMemoryError(requested=100, available=40)
+    assert err.requested == 100
+    assert err.available == 40
+    assert "100" in str(err) and "40" in str(err)
+
+
+def test_device_memory_error_custom_message():
+    err = DeviceMemoryError(requested=1, available=0, message="custom")
+    assert str(err) == "custom"
+
+
+def test_catching_base_class_covers_library_errors():
+    """Callers should be able to catch ReproError for anything we raise."""
+    from repro import PaganiConfig, PaganiIntegrator
+
+    with pytest.raises(ReproError):
+        PaganiIntegrator(PaganiConfig(rel_tol=-1.0))
+    from repro.cubature.rules import get_rule
+
+    with pytest.raises(ReproError):
+        get_rule(1)

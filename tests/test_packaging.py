@@ -1,0 +1,62 @@
+"""Packaging/export sanity: the public API surface stays intact."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.cubature",
+        "repro.gpu",
+        "repro.baselines",
+        "repro.integrands",
+        "repro.reference",
+        "repro.diagnostics",
+        "repro.sparse_grids",
+        "repro.cli",
+        "repro.api",
+        "repro.errors",
+    ],
+)
+def test_submodules_importable_and_documented(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} must have a module docstring"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.cubature",
+        "repro.gpu",
+        "repro.baselines",
+        "repro.integrands",
+        "repro.reference",
+        "repro.sparse_grids",
+        "repro.diagnostics",
+    ],
+)
+def test_package_all_resolves(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_public_classes_have_docstrings():
+    import repro
+
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"{name} lacks a docstring"

@@ -1,0 +1,46 @@
+"""End-to-end: every paper-suite integrand through the full PAGANI stack.
+
+A coarse-tolerance pass over all nine integrand/dimension combinations of
+§4.1 — the cheapest run that still exercises rule construction, the main
+loop, classification and the analytic references together in every
+dimensionality the paper evaluates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PaganiConfig, PaganiIntegrator
+from repro.gpu.device import DeviceSpec, VirtualDevice
+from repro.integrands.paper import paper_suite
+
+SUITE = {f.name: f for f in paper_suite()}
+
+#: f6's cuts align with tenths (see integrands/paper.py); everything else
+#: uses the default initial split.
+SPLITS = {"6D f6": 10}
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_pagani_coarse_pass(name):
+    f = SUITE[name]
+    cfg = PaganiConfig(
+        rel_tol=1e-2,
+        relerr_filtering=f.sign_definite,
+        max_iterations=25,
+        initial_splits=SPLITS.get(name),
+    )
+    dev = VirtualDevice(DeviceSpec.scaled(mem_mb=192))
+    res = PaganiIntegrator(cfg, device=dev).integrate(f, f.ndim)
+    true_rel = abs(res.estimate - f.reference) / abs(f.reference)
+    assert res.converged, f"{name}: {res.status.value}"
+    assert true_rel <= 5e-2, f"{name}: true rel err {true_rel:.2e}"
+    # device invariants hold across the whole suite
+    assert dev.memory.in_use == 0
+    assert res.neval > 0 and res.nregions == sum(r.n_regions for r in res.trace)
+
+
+def test_suite_has_paper_composition():
+    dims = sorted((f.ndim, f.name.split()[1]) for f in SUITE.values())
+    assert (8, "f1") in dims and (8, "f8") in dims
+    assert (5, "f4") in dims and (6, "f6") in dims and (3, "f3") in dims
+    assert len(SUITE) == 9

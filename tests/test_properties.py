@@ -1,0 +1,135 @@
+"""Cross-cutting property-based tests on integration invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PaganiConfig, PaganiIntegrator, integrate
+from repro.integrands.base import Integrand
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3.1 (the relative-error filtering soundness lemma)
+# ---------------------------------------------------------------------------
+@settings(max_examples=60)
+@given(
+    seed=st.integers(0, 10**6),
+    m=st.integers(1, 50),
+    tau_exp=st.integers(1, 10),
+    sign=st.sampled_from([-1.0, 1.0]),
+)
+def test_lemma_3_1(seed, m, tau_exp, sign):
+    """If every region's error satisfies e_i <= τ|v_i| and all v_i share a
+    sign, then Σe <= τ|Σv| — the paper's Lemma 3.1, verbatim."""
+    rng = np.random.default_rng(seed)
+    tau = 10.0**-tau_exp
+    v = sign * rng.uniform(0.0, 10.0, size=m)
+    e = rng.uniform(0.0, 1.0, size=m) * tau * np.abs(v)  # e_i <= τ|v_i|
+    assert float(e.sum()) <= tau * abs(float(v.sum())) + 1e-15
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 10**6), m=st.integers(2, 50), tau_exp=st.integers(1, 6))
+def test_lemma_3_1_fails_with_mixed_signs(seed, m, tau_exp):
+    """The lemma's precondition matters: with mixed-sign v the conclusion
+    can fail (this is why §3.5.1 adds the user flag).  We verify the
+    counterexample construction rather than universal failure."""
+    tau = 10.0**-tau_exp
+    # two regions that cancel: v = (1, -1+δ), each with e_i = τ|v_i|
+    v = np.array([1.0, -1.0 + tau / 2])
+    e = tau * np.abs(v)
+    assert float(e.sum()) > tau * abs(float(v.sum()))
+
+
+# ---------------------------------------------------------------------------
+# Integration-operator invariants
+# ---------------------------------------------------------------------------
+def _gauss(ndim, c=40.0):
+    def fn(x):
+        return np.exp(-c * np.sum((x - 0.5) ** 2, axis=1))
+
+    return fn
+
+
+@settings(max_examples=8)
+@given(scale=st.floats(min_value=-50.0, max_value=50.0).filter(lambda s: abs(s) > 1e-3))
+def test_linearity_in_scaling(scale):
+    """∫ c·f = c·∫ f (PAGANI's estimate must be exactly linear in the
+    integrand because every rule sum is)."""
+    base = _gauss(3)
+    r1 = integrate(lambda x: base(x), 3, rel_tol=1e-6)
+    r2 = integrate(lambda x: scale * base(x), 3, rel_tol=1e-6)
+    assert r2.estimate == pytest.approx(scale * r1.estimate, rel=1e-9)
+
+
+@settings(max_examples=6)
+@given(shift=st.floats(min_value=-3.0, max_value=3.0))
+def test_translation_invariance(shift):
+    """Integrating f(x - s) over the shifted box gives the same value."""
+    c = 30.0
+    f0 = Integrand(
+        fn=lambda x: np.exp(-c * np.sum((x - 0.5) ** 2, axis=1)), ndim=2
+    )
+    fs = Integrand(
+        fn=lambda x: np.exp(-c * np.sum((x - shift - 0.5) ** 2, axis=1)), ndim=2
+    )
+    r0 = integrate(f0, 2, rel_tol=1e-8)
+    rs = integrate(fs, 2, rel_tol=1e-8,
+                   bounds=[(shift, shift + 1.0), (shift, shift + 1.0)])
+    assert rs.estimate == pytest.approx(r0.estimate, rel=1e-7)
+
+
+def test_domain_decomposition_consistency():
+    """∫ over [0,1]^2 equals the sum of ∫ over its four quadrants."""
+    fn = _gauss(2, c=25.0)
+    whole = integrate(fn, 2, rel_tol=1e-9).estimate
+    parts = 0.0
+    for qx in (0.0, 0.5):
+        for qy in (0.0, 0.5):
+            parts += integrate(
+                fn, 2, rel_tol=1e-9,
+                bounds=[(qx, qx + 0.5), (qy, qy + 0.5)],
+            ).estimate
+    assert parts == pytest.approx(whole, rel=1e-8)
+
+
+def test_estimate_independent_of_initial_split():
+    """Different d^n seeds converge to the same value (within tolerances)."""
+    fn = _gauss(3, c=100.0)
+    vals = []
+    for d in (2, 3, 5):
+        cfg = PaganiConfig(rel_tol=1e-7, initial_splits=d)
+        vals.append(PaganiIntegrator(cfg).integrate(fn, 3).estimate)
+    assert max(vals) - min(vals) <= 2e-7 * abs(vals[0])
+
+
+@settings(max_examples=10)
+@given(
+    a=st.floats(min_value=0.1, max_value=5.0),
+    b=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_separable_product_structure(a, b):
+    """For f(x,y) = g(ax)·g(by), the integral factorises; PAGANI must
+    respect it (rule tensor structure)."""
+    def f(x):
+        return np.exp(-a * x[:, 0]) * np.exp(-b * x[:, 1])
+
+    res = integrate(f, 2, rel_tol=1e-9)
+    truth = (1 - np.exp(-a)) / a * (1 - np.exp(-b)) / b
+    assert res.estimate == pytest.approx(truth, rel=1e-8)
+
+
+def test_error_estimate_covers_true_error_on_smooth_suite():
+    """Across a smooth family sweep, claimed convergence is honest."""
+    for c in (10.0, 100.0, 400.0):
+        fn = Integrand(
+            fn=lambda x, c=c: np.exp(-c * np.sum((x - 0.5) ** 2, axis=1)),
+            ndim=3,
+        )
+        from math import erf, pi, sqrt
+
+        truth = (sqrt(pi / c) * erf(sqrt(c) / 2.0)) ** 3
+        res = integrate(fn, 3, rel_tol=1e-7)
+        assert res.converged
+        assert abs(res.estimate - truth) / truth <= 1e-7, c

@@ -1,0 +1,162 @@
+"""Smolyak sparse grids: construction and integration behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import Status
+from repro.errors import ConfigurationError
+from repro.sparse_grids import (
+    SmolyakConfig,
+    SmolyakIntegrator,
+    clenshaw_curtis,
+    smolyak_points_count,
+)
+from repro.sparse_grids.smolyak import _smolyak_point_index, _smolyak_terms
+from tests.conftest import gaussian_nd
+
+
+# ---------------------------------------------------------------------------
+# Clenshaw–Curtis levels
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("level,n", [(0, 1), (1, 3), (2, 5), (3, 9), (4, 17)])
+def test_cc_point_counts(level, n):
+    x, w = clenshaw_curtis(level)
+    assert len(x) == len(w) == n
+
+
+@pytest.mark.parametrize("level", [1, 2, 3, 4, 5])
+def test_cc_weights_sum_to_interval_length(level):
+    _, w = clenshaw_curtis(level)
+    assert float(w.sum()) == pytest.approx(2.0, rel=1e-12)
+
+
+@pytest.mark.parametrize("level", [2, 3, 4])
+def test_cc_polynomial_exactness(level):
+    """Level-l CC (2^l+1 points) integrates degree 2^l polynomials."""
+    x, w = clenshaw_curtis(level)
+    n = 2**level
+    for k in range(0, n + 1):
+        exact = 2.0 / (k + 1) if k % 2 == 0 else 0.0
+        assert float(w @ x**k) == pytest.approx(exact, abs=1e-12), k
+
+
+def test_cc_nesting():
+    """Level l-1 nodes are a subset of level l nodes."""
+    for level in (2, 3, 4):
+        coarse = set(np.round(clenshaw_curtis(level - 1)[0], 12))
+        fine = set(np.round(clenshaw_curtis(level)[0], 12))
+        assert coarse <= fine
+
+
+def test_cc_invalid_level():
+    with pytest.raises(ValueError):
+        clenshaw_curtis(-1)
+
+
+# ---------------------------------------------------------------------------
+# Smolyak combination
+# ---------------------------------------------------------------------------
+def test_combination_coefficients_sum_to_one():
+    """Σ coeff over terms must reproduce the constant function exactly."""
+    for ndim, level in [(2, 3), (3, 4), (5, 3)]:
+        pts, wts = _smolyak_point_index(ndim, level)
+        assert float(wts.sum()) == pytest.approx(1.0, rel=1e-12)
+
+
+def test_sparse_vs_tensor_point_growth():
+    """The whole point: far fewer nodes than the full tensor grid."""
+    ndim, level = 5, 4
+    sparse = smolyak_points_count(ndim, level)
+    tensor = (2**level + 1) ** ndim
+    assert sparse < tensor / 100
+
+
+def test_smolyak_exact_on_low_degree_polynomials():
+    pts, wts = _smolyak_point_index(3, 4)
+
+    def poly(x):
+        return 1.0 + x[:, 0] ** 2 + x[:, 1] * x[:, 2]
+
+    # over [-1,1]^3 normalised: 1 + 1/3 + 0
+    val = float(wts @ poly(pts))
+    assert val == pytest.approx(1.0 + 1.0 / 3.0, rel=1e-12)
+
+
+@settings(max_examples=10)
+@given(ndim=st.integers(2, 4), level=st.integers(1, 4))
+def test_smolyak_terms_structure(ndim, level):
+    terms = _smolyak_terms(ndim, level)
+    for coeff, k in terms:
+        assert len(k) == ndim
+        assert max(0, level - ndim + 1) <= sum(k) <= level
+        assert coeff != 0
+
+
+# ---------------------------------------------------------------------------
+# Integrator
+# ---------------------------------------------------------------------------
+def test_converges_on_smooth_gaussian():
+    g = gaussian_nd(3, c=10.0)
+    res = SmolyakIntegrator(SmolyakConfig(rel_tol=1e-6, max_level=12)).integrate(g, 3)
+    assert res.converged
+    assert abs(res.estimate - g.reference) / g.reference <= 1e-5
+    assert res.method == "smolyak-cc"
+
+
+def test_nested_caching_reuses_points():
+    calls = {"n": 0}
+    g = gaussian_nd(2, c=5.0)
+
+    def counting(x):
+        calls["n"] += x.shape[0]
+        return g.fn(x)
+
+    res = SmolyakIntegrator(SmolyakConfig(rel_tol=1e-8, max_level=8)).integrate(
+        counting, 2
+    )
+    # every point evaluated exactly once across all levels
+    assert calls["n"] == res.neval
+
+
+def test_struggles_on_sharp_peak_vs_pagani():
+    """Sparse grids lack local adaptivity: on the paper's f4-style peak
+    PAGANI reaches the tolerance while Smolyak needs far more points or
+    fails — the §2 rationale."""
+    from repro.core import PaganiConfig, PaganiIntegrator
+
+    g = gaussian_nd(4, c=625.0)
+    sg = SmolyakIntegrator(
+        SmolyakConfig(rel_tol=1e-5, max_level=9, max_points=400_000)
+    ).integrate(g, 4)
+    pg = PaganiIntegrator(PaganiConfig(rel_tol=1e-5)).integrate(g, 4)
+    pg_err = abs(pg.estimate - g.reference) / g.reference
+    sg_err = abs(sg.estimate - g.reference) / g.reference
+    assert pg.converged and pg_err <= 1e-5
+    assert (not sg.converged) or sg_err > pg_err
+
+
+def test_custom_bounds():
+    f = lambda x: np.ones(x.shape[0])
+    res = SmolyakIntegrator(SmolyakConfig(rel_tol=1e-4)).integrate(
+        f, 2, bounds=[(0.0, 3.0), (1.0, 2.0)]
+    )
+    assert res.estimate == pytest.approx(3.0, rel=1e-12)
+
+
+def test_max_points_guard():
+    g = gaussian_nd(5, c=625.0)
+    res = SmolyakIntegrator(
+        SmolyakConfig(rel_tol=1e-12, max_level=12, max_points=2_000)
+    ).integrate(g, 5)
+    assert res.status in (Status.MEMORY_EXHAUSTED, Status.MAX_ITERATIONS)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SmolyakIntegrator(SmolyakConfig(rel_tol=0.0))
+    with pytest.raises(ConfigurationError):
+        SmolyakIntegrator(SmolyakConfig(max_level=0))
+    with pytest.raises(ConfigurationError):
+        SmolyakIntegrator().integrate(gaussian_nd(2), 2, bounds=np.zeros((3, 2)))
