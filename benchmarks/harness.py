@@ -11,7 +11,14 @@ module that regenerates the corresponding series.  This module provides:
   and 9 are different projections of the same sweep — the paper's own
   figures share runs the same way),
 * result rows, CSV artifact writing into ``benchmarks/results/``, and
-  aligned text tables printed with a paper-vs-measured header.
+  aligned text tables printed with a paper-vs-measured header,
+* the execution-backend benchmark: the Fig. 5/6 PAGANI workloads run once
+  per available array backend (numpy / threaded / cupy), emitting the
+  machine-readable ``results/BENCH_backends.json`` perf-regression
+  baseline.  Run it directly::
+
+      PYTHONPATH=src python benchmarks/harness.py            # all backends
+      PYTHONPATH=src python benchmarks/harness.py --smoke    # CI-sized
 
 Times reported for GPU methods are the *simulated* device seconds (so the
 series are deterministic and hardware independent); Cuhre is charged to the
@@ -400,3 +407,237 @@ def max_converged_digits(rows: Iterable[SweepRow], integrand: str, method: str) 
 
 def fmt_e(x: float) -> str:
     return f"{x:.2e}" if np.isfinite(x) else "-"
+
+
+# ---------------------------------------------------------------------------
+# Execution-backend benchmark (BENCH_backends.json)
+#
+# The fig5/fig6 PAGANI workloads, run once per array backend.  Simulated
+# time is backend-invariant (the virtual device charges the same kernels);
+# the interesting columns are wall-clock seconds — the first real-hardware
+# perf baseline — and the estimate/errorest agreement against the numpy
+# reference, which the conformance tests also enforce.
+# ---------------------------------------------------------------------------
+BACKEND_BENCH_FILE = "BENCH_backends.json"
+
+
+def backend_bench_workloads(smoke: bool = False) -> Dict[str, tuple]:
+    """``{name: (integrand, digit_list)}`` for the backend benchmark.
+
+    The default set is the union of the Fig. 5 and Fig. 6 integrands with
+    their quick/full digit ranges; ``--smoke`` shrinks it to one tiny
+    workload for CI.
+    """
+    if smoke:
+        return {"3D f4": (f4_gaussian(3), [3])}
+    combos: Dict[str, tuple] = {}
+    for name, integrand in {**sweep_integrands(), **speedup_integrands()}.items():
+        combos[name] = (integrand, digits_for(name))
+    return combos
+
+
+def run_backend_bench(
+    backends: Optional[Sequence[str]] = None, smoke: bool = False
+) -> dict:
+    """Run the PAGANI workloads once per backend; return the JSON payload."""
+    import platform
+    import sys as _sys
+
+    from repro.backends import (
+        BackendUnavailableError,
+        available_backends,
+        get_backend,
+    )
+
+    if backends is None:
+        backends = available_backends()
+    workloads = backend_bench_workloads(smoke=smoke)
+
+    per_backend: Dict[str, List[dict]] = {}
+    skipped: List[str] = []
+    for spec in backends:
+        try:
+            get_backend(spec)
+        except BackendUnavailableError as exc:
+            print(f"skipping backend {spec!r}: {exc}", file=_sys.stderr)
+            skipped.append(spec)
+            continue
+        rows: List[dict] = []
+        for name, (integrand, digit_list) in workloads.items():
+            splits = INITIAL_SPLITS.get(name)
+            for digits in digit_list:
+                cfg = PaganiConfig(
+                    rel_tol=10.0**-digits,
+                    relerr_filtering=integrand.sign_definite,
+                    max_iterations=35,
+                    backend=spec,
+                )
+                if splits is not None:
+                    cfg.initial_splits = splits
+                res = PaganiIntegrator(cfg, device=bench_device()).integrate(
+                    integrand, integrand.ndim
+                )
+                rows.append(
+                    {
+                        "integrand": name,
+                        "digits": digits,
+                        "converged": res.converged,
+                        "status": res.status.value,
+                        "estimate": res.estimate,
+                        "errorest": res.errorest,
+                        "wall_seconds": res.wall_seconds,
+                        "sim_seconds": res.sim_seconds,
+                        "neval": res.neval,
+                        "nregions": res.nregions,
+                    }
+                )
+        per_backend[spec] = rows
+
+    # Agreement flags against the numpy reference rows.  Host backends
+    # (numpy/threaded) share the array library and must be bit-identical;
+    # accelerator backends (cupy) reduce in a different order and are held
+    # to machine-precision agreement, matching the conformance suite.
+    ref = {(r["integrand"], r["digits"]): r for r in per_backend.get("numpy", [])}
+    for spec, rows in per_backend.items():
+        exact = spec == "numpy" or spec.startswith("threaded")
+        for r in rows:
+            base = ref.get((r["integrand"], r["digits"]))
+            if base is None:
+                r["matches_numpy"] = False
+            elif exact:
+                r["matches_numpy"] = (
+                    r["estimate"] == base["estimate"]
+                    and r["errorest"] == base["errorest"]
+                )
+            else:
+                r["matches_numpy"] = math.isclose(
+                    r["estimate"], base["estimate"], rel_tol=1e-12, abs_tol=0.0
+                ) and math.isclose(
+                    r["errorest"], base["errorest"], rel_tol=1e-9,
+                    abs_tol=1e-300,
+                )
+
+    return {
+        "schema": 1,
+        "suite": "pagani-backend-bench",
+        "mode": "smoke" if smoke else ("full" if full_mode() else "quick"),
+        "device_mb": BENCH_DEVICE_MB,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "skipped_backends": skipped,
+        "backends": per_backend,
+    }
+
+
+def write_backend_bench(data: dict, out: Optional[Path] = None) -> Path:
+    """Write the backend-benchmark payload as pretty JSON; return the path."""
+    import json
+
+    path = Path(out) if out is not None else RESULTS_DIR / BACKEND_BENCH_FILE
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def print_backend_bench(data: dict) -> None:
+    """Aligned wall-time table with per-backend speedup over numpy."""
+    backends = sorted(data["backends"])
+    if not backends:
+        print("no backends ran")
+        return
+    ref_rows = {
+        (r["integrand"], r["digits"]): r
+        for r in data["backends"].get("numpy", [])
+    }
+    keys: List[tuple] = []
+    for spec in backends:
+        for r in data["backends"][spec]:
+            k = (r["integrand"], r["digits"])
+            if k not in keys:
+                keys.append(k)
+    body = []
+    for name, digits in keys:
+        row = [name, digits]
+        for spec in backends:
+            match = [
+                r for r in data["backends"][spec]
+                if r["integrand"] == name and r["digits"] == digits
+            ]
+            if not match:
+                row.append("-")
+                continue
+            r = match[0]
+            cell = f"{r['wall_seconds'] * 1e3:.0f}ms"
+            base = ref_rows.get((name, digits))
+            if base is not None and spec != "numpy" and r["wall_seconds"] > 0:
+                cell += f" ({base['wall_seconds'] / r['wall_seconds']:.2f}x)"
+            if not r["converged"]:
+                cell += " DNF"
+            row.append(cell)
+        body.append(row)
+    print_table(
+        f"Backend benchmark ({data['mode']} mode) — wall time, speedup vs numpy",
+        ["integrand", "digits"] + backends,
+        body,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry: run the backend benchmark and write BENCH_backends.json."""
+    import argparse
+    import sys
+
+    from repro.errors import ConfigurationError
+
+    ap = argparse.ArgumentParser(
+        description="Run the fig5/fig6 PAGANI workloads per execution "
+        "backend and write the BENCH_backends.json perf baseline."
+    )
+    ap.add_argument(
+        "--backends", default=None,
+        help="comma-separated backend specs (default: all available)",
+    )
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="one tiny workload only (CI smoke run)",
+    )
+    ap.add_argument(
+        "--out", default=None,
+        help=f"output path (default: results/{BACKEND_BENCH_FILE})",
+    )
+    args = ap.parse_args(argv)
+
+    backends = args.backends.split(",") if args.backends else None
+    try:
+        data = run_backend_bench(backends=backends, smoke=args.smoke)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not data["backends"]:
+        # Don't clobber a good committed baseline with an empty payload.
+        print("error: no requested backend could run; nothing written",
+              file=sys.stderr)
+        return 2
+    path = write_backend_bench(data, out=args.out)
+    print_backend_bench(data)
+    print(f"\nwrote {path}")
+    mismatches = [
+        (spec, r["integrand"], r["digits"])
+        for spec, rows in data["backends"].items()
+        for r in rows
+        if not r["matches_numpy"] and "numpy" in data["backends"]
+    ]
+    if mismatches:
+        print(f"WARNING: {len(mismatches)} rows disagree with the numpy "
+              f"reference: {mismatches}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

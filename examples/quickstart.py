@@ -53,6 +53,18 @@ def main() -> None:
             f"  true.rel.err={true_err:.1e}  sim={res.sim_seconds * 1e3:7.3f} ms"
         )
 
+    # The hot path runs on a pluggable array backend: "numpy" (default),
+    # "threaded"/"threaded:<N>" for multi-core hosts, "cupy" on a real GPU.
+    # Host backends are bit-identical to the reference — only wall-clock
+    # changes.
+    print("\n== Backend selection (identical results, different substrate) ==")
+    for backend in ("numpy", "threaded"):
+        res = integrate(banana, ndim=4, rel_tol=1e-5, backend=backend)
+        print(
+            f"  backend={backend:<9s}: estimate={res.estimate:.12f}  "
+            f"wall={res.wall_seconds * 1e3:7.1f} ms"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -17,6 +17,7 @@ Package map
 -----------
 ``repro.core``        PAGANI itself (Algorithms 2 and 3)
 ``repro.cubature``    Genz–Malik rules, batch evaluation, two-level errors
+``repro.backends``    pluggable array-execution backends (numpy/threaded/cupy)
 ``repro.gpu``         virtual device: cost model, memory pool, scheduler
 ``repro.baselines``   sequential Cuhre, two-phase GPU method, randomized QMC
 ``repro.integrands``  the paper's f1–f8 and the Genz families
@@ -25,6 +26,7 @@ Package map
 """
 
 from repro.api import integrate
+from repro.backends import ArrayBackend, available_backends, get_backend
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.core.result import IntegrationResult, Status
 from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
@@ -51,5 +53,8 @@ __all__ = [
     "VirtualDevice",
     "Integrand",
     "ScalarIntegrand",
+    "ArrayBackend",
+    "get_backend",
+    "available_backends",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import BackendSpec
 from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
 from repro.baselines.qmc import QmcConfig, QmcIntegrator
 from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
@@ -39,6 +40,7 @@ def integrate(
     relerr_filtering: Optional[bool] = None,
     max_eval: Optional[int] = None,
     max_iterations: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> IntegrationResult:
     """Integrate a batch callable over an axis-aligned box.
 
@@ -66,6 +68,13 @@ def integrate(
         Evaluation budget for cuhre/qmc.
     max_iterations:
         Iteration cap for the breadth-first methods.
+    backend:
+        Execution backend for the PAGANI hot path: ``"numpy"`` (default),
+        ``"threaded"`` / ``"threaded:<N>"``, ``"cupy"``, or an
+        :class:`~repro.backends.base.ArrayBackend` instance.  Host
+        backends produce results identical to the NumPy reference; see
+        :mod:`repro.backends`.  Only ``method="pagani"`` accepts a
+        non-default backend.
 
     Returns
     -------
@@ -77,10 +86,16 @@ def integrate(
         raise ConfigurationError(f"unknown method {method!r}; pick one of {_METHODS}")
     if relerr_filtering is None:
         relerr_filtering = bool(getattr(integrand, "sign_definite", True))
+    if backend is not None and backend != "numpy" and method != "pagani":
+        raise ConfigurationError(
+            f"backend selection applies to method='pagani' only (got "
+            f"method={method!r}, backend={backend!r})"
+        )
 
     if method == "pagani":
         cfg = PaganiConfig(
-            rel_tol=rel_tol, abs_tol=abs_tol, relerr_filtering=relerr_filtering
+            rel_tol=rel_tol, abs_tol=abs_tol, relerr_filtering=relerr_filtering,
+            backend=backend if backend is not None else "numpy",
         )
         if max_iterations is not None:
             cfg.max_iterations = max_iterations

@@ -1,0 +1,168 @@
+"""Pluggable array-backend execution layer for the PAGANI hot path.
+
+Why this layer exists
+---------------------
+The paper's central performance claim is architectural: evaluating *all*
+live regions in one parallel sweep per iteration is what lets PAGANI use
+a device fully.  The algorithm does not care what executes that sweep —
+a CUDA grid, a BLAS-backed NumPy pass, or a thread pool.  This package
+makes the substrate a first-class, swappable component so real hardware
+(and future sharding/batching work) plugs in without touching the
+algorithm in ``repro.core``.
+
+Built-in backends
+-----------------
+``"numpy"`` (default)
+    Single-threaded vectorized NumPy — the reference implementation.
+``"threaded"`` / ``"threaded:<N>"``
+    Chunk-parallel NumPy on an ``N``-wide thread pool (default: one per
+    host CPU).  Bit-identical to ``"numpy"``: the chunk decomposition
+    and per-chunk arithmetic are unchanged; only the schedule differs.
+``"cupy"``
+    Real-GPU execution through CuPy.  Import-guarded: selecting it on a
+    host without CuPy/CUDA raises
+    :class:`~repro.backends.base.BackendUnavailableError` (an
+    ``ImportError``), and :func:`available_backends` omits it.
+
+Selecting a backend
+-------------------
+Every user surface takes a backend spec — a name string or an
+:class:`ArrayBackend` instance::
+
+    from repro import integrate
+    res = integrate(f, ndim=5, backend="threaded")        # api keyword
+
+    from repro.core import PaganiConfig, PaganiIntegrator
+    cfg = PaganiConfig(backend="threaded:8")              # config field
+
+    pagani-repro run --integrand 8D-f7 --backend threaded # CLI flag
+
+Writing a new backend
+---------------------
+Subclass :class:`~repro.backends.base.ArrayBackend` (its module
+docstring specifies the full contract), then register a factory::
+
+    from repro.backends import register_backend
+
+    class MyBackend(ArrayBackend):
+        name = "mine"
+        ...
+
+    register_backend("mine", MyBackend)
+
+The factory receives no arguments (parse options from your spec string
+by registering a closure).  A conforming backend must satisfy the
+protocol-conformance suite in ``tests/backends/test_backends.py`` —
+point the ``backend`` fixture at your implementation; the suite asserts
+primitive semantics and end-to-end agreement with the NumPy reference
+on the Genz integrand families.
+
+Contract highlights for implementers:
+
+* ``map_integrand`` feeds the user's batch callable arrays of *your*
+  type; hot-path math is NumPy-ufunc based and dispatches through
+  ``__array_ufunc__`` / ``__array_function__``.
+* ``run_chunks`` receives thunks writing disjoint output slices — any
+  execution order (or concurrency) is valid.
+* Scalar reductions return Python floats/ints; they are the iteration's
+  synchronisation points, exactly like the Thrust reductions in the
+  paper's CUDA implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.backends.base import ArrayBackend, BackendUnavailableError
+from repro.backends.cupy_backend import CupyBackend, cupy_available
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.threaded import ThreadedNumpyBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "ThreadedNumpyBackend",
+    "CupyBackend",
+    "BackendSpec",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+#: anything accepted where a backend is expected
+BackendSpec = Union[str, ArrayBackend, None]
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_AVAILABILITY: Dict[str, Callable[[], bool]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], ArrayBackend],
+    available: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``available`` is an optional zero-argument probe used by
+    :func:`available_backends`; backends whose probe returns False are
+    still constructible explicitly (construction raises the precise
+    error) but are not advertised.
+    """
+    _FACTORIES[name] = factory
+    _AVAILABILITY[name] = available or (lambda: True)
+    for key in [k for k in _INSTANCES if k == name or k.startswith(name + ":")]:
+        _INSTANCES.pop(key)
+
+
+def get_backend(spec: BackendSpec = None) -> ArrayBackend:
+    """Resolve a backend spec to a (shared) backend instance.
+
+    ``None`` and ``"numpy"`` return the reference backend;
+    ``"threaded:<N>"`` builds an ``N``-thread pool; instances pass
+    through untouched.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError`; known-but-unusable
+    backends (e.g. ``"cupy"`` without CUDA) raise
+    :class:`BackendUnavailableError`.
+    """
+    from repro.errors import ConfigurationError
+
+    if spec is None:
+        spec = "numpy"
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"backend must be a name or ArrayBackend instance, got {spec!r}"
+        )
+    name, _, arg = spec.partition(":")
+    if name == "threaded" and arg:
+        try:
+            width = int(arg)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad thread count in backend spec {spec!r}"
+            ) from None
+        # Cache per width so repeated resolutions share one thread pool
+        # instead of leaking a fresh executor per integrator construction.
+        if spec not in _INSTANCES:
+            _INSTANCES[spec] = ThreadedNumpyBackend(num_threads=width)
+        return _INSTANCES[spec]
+    if name not in _FACTORIES or arg:
+        raise ConfigurationError(
+            f"unknown backend {spec!r}; known backends: {sorted(_FACTORIES)}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def available_backends() -> List[str]:
+    """Names of the registered backends usable on this host."""
+    return [name for name in sorted(_FACTORIES) if _AVAILABILITY[name]()]
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("threaded", ThreadedNumpyBackend)
+register_backend("cupy", CupyBackend, available=cupy_available)

@@ -22,6 +22,8 @@ import sys
 from typing import Dict, Optional
 
 from repro.api import integrate
+from repro.backends import BackendUnavailableError, available_backends, get_backend
+from repro.errors import ConfigurationError
 from repro.integrands.base import Integrand
 from repro.integrands.genz import GenzFamily, make_genz
 from repro.integrands.paper import (
@@ -63,6 +65,22 @@ def named_integrand(spec: str) -> Integrand:
     return _FACTORIES[key](ndim)
 
 
+def _resolve_backend(spec: str):
+    """Validate a --backend spec, falling back to numpy when unusable.
+
+    Unknown names are hard errors (a typo should not silently change the
+    run); *known but unavailable* backends — cupy on a CUDA-less host —
+    degrade to the reference backend with a warning, so scripts written
+    for GPU boxes still run everywhere.
+    """
+    try:
+        return get_backend(spec)
+    except BackendUnavailableError as exc:
+        print(f"warning: backend {spec!r} unavailable ({exc}); "
+              "falling back to numpy", file=sys.stderr)
+        return get_backend("numpy")
+
+
 def _print_result(res, truth: Optional[float]) -> None:
     print(res)
     if truth is not None and truth != 0.0:
@@ -81,11 +99,22 @@ def main(argv: Optional[list] = None) -> int:
     run.add_argument("--rel-tol", type=float, default=1e-3)
     run.add_argument("--abs-tol", type=float, default=1e-20)
     run.add_argument("--max-eval", type=int, default=None)
+    run.add_argument(
+        "--backend", default="numpy",
+        help="execution backend for PAGANI: numpy (default), threaded, "
+        "threaded:<N>, cupy; unavailable backends fall back to numpy "
+        "with a warning",
+    )
 
     comp = sub.add_parser("compare", help="run all methods on one integrand")
     comp.add_argument("--integrand", required=True)
     comp.add_argument("--rel-tol", type=float, default=1e-3)
     comp.add_argument("--max-eval", type=int, default=50_000_000)
+    comp.add_argument(
+        "--backend", default="numpy",
+        help="execution backend for the PAGANI rows (baselines always "
+        "run their own substrate)",
+    )
 
     sub.add_parser("list", help="list named integrands")
 
@@ -96,13 +125,20 @@ def main(argv: Optional[list] = None) -> int:
             print(f"  <n>D-{key}   e.g. 8D-{key}")
         print("  <n>D-genz-<family> with family in "
               f"{[f.value for f in GenzFamily]}")
+        print(f"  backends available here: {available_backends()}")
         return 0
 
     integrand = named_integrand(args.integrand)
+    try:
+        backend = _resolve_backend(args.backend)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.command == "run":
         res = integrate(
             integrand, integrand.ndim, rel_tol=args.rel_tol,
             abs_tol=args.abs_tol, method=args.method, max_eval=args.max_eval,
+            backend=backend if args.method == "pagani" else None,
         )
         _print_result(res, integrand.reference)
         return 0 if res.converged else 1
@@ -112,6 +148,7 @@ def main(argv: Optional[list] = None) -> int:
         res = integrate(
             integrand, integrand.ndim, rel_tol=args.rel_tol,
             method=method, max_eval=args.max_eval,
+            backend=backend if method == "pagani" else None,
         )
         _print_result(res, integrand.reference)
     return 0

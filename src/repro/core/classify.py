@@ -30,6 +30,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.backends.base import ArrayBackend
 from repro.gpu import thrust
 from repro.gpu.device import VirtualDevice
 
@@ -103,6 +104,7 @@ def threshold_classify(
     max_direction_changes: int = 10,
     max_probes: int = 60,
     device: Optional[VirtualDevice] = None,
+    backend: Optional[ArrayBackend] = None,
 ) -> tuple[np.ndarray, ThresholdTrace]:
     """Algorithm 3: search for an error threshold and classify below it.
 
@@ -134,6 +136,9 @@ def threshold_classify(
     mem_fraction:
         Fraction of the *active* regions that must be discarded for the
         memory requirement (paper: at least 50 %).
+    backend:
+        Execution backend for the reductions inside the search
+        (``None`` = reference NumPy).
 
     Returns
     -------
@@ -143,9 +148,11 @@ def threshold_classify(
         without filtering or to terminate with a memory flag).
     """
     trace_device = device  # all reductions below happen on device
-    n_active = thrust.count_nonzero(trace_device, active)
+    n_active = thrust.count_nonzero(trace_device, active, backend=backend)
     err_active = error[active]
-    e_it = thrust.reduce_sum(trace_device, err_active, name="thrust::reduce(Eact)")
+    e_it = thrust.reduce_sum(
+        trace_device, err_active, name="thrust::reduce(Eact)", backend=backend
+    )
     # Excess error that must disappear for convergence, capped by the
     # commitment allowance still available under the tolerance.
     e_budget = e_tot - abs(v_tot) * tau_rel
@@ -158,7 +165,7 @@ def threshold_classify(
         t = ThresholdTrace(0.0, 0.0, 0.0, e_budget)
         return active, t
 
-    e_min, e_max = thrust.minmax(trace_device, err_active)
+    e_min, e_max = thrust.minmax(trace_device, err_active, backend=backend)
     threshold = e_it / n_active  # initial probe: the average active error
     trace = ThresholdTrace(
         min_error=e_min,
@@ -177,9 +184,10 @@ def threshold_classify(
         # active region is discarded when its error sits at/below t.
         discard = active & (error <= threshold)
         new_active = active & ~discard
-        n_removed = thrust.count_nonzero(trace_device, discard)
+        n_removed = thrust.count_nonzero(trace_device, discard, backend=backend)
         e_removed = thrust.reduce_sum(
-            trace_device, error[discard], name="thrust::reduce(Erem)"
+            trace_device, error[discard], name="thrust::reduce(Erem)",
+            backend=backend,
         )
         frac_removed = n_removed / n_active
         frac_budget = e_removed / e_budget

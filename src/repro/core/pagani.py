@@ -28,6 +28,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.backends import BackendSpec, get_backend
 from repro.core.classify import ThresholdTrace, rel_err_classify, threshold_classify
 from repro.core.regions import RegionStore, bytes_per_region
 from repro.core.result import IntegrationResult, IterationRecord, Status
@@ -81,6 +82,10 @@ class PaganiConfig:
     relerr_margin: float = 0.5
     #: chunking budget for the evaluate sweep (floats per chunk)
     chunk_budget: int = 16_000_000
+    #: execution backend for the hot path: a registered name
+    #: ("numpy", "threaded", "threaded:<N>", "cupy") or an
+    #: :class:`~repro.backends.base.ArrayBackend` instance
+    backend: BackendSpec = "numpy"
 
     def validate(self) -> None:
         if not (0.0 < self.rel_tol < 1.0):
@@ -132,6 +137,8 @@ class PaganiIntegrator:
         self.config = config or PaganiConfig()
         self.config.validate()
         self.device = device if device is not None else VirtualDevice(DeviceSpec.scaled())
+        #: resolved execution backend (raises early on unknown/unusable specs)
+        self.backend = get_backend(self.config.backend)
         #: threshold-search traces of the last run (Fig. 3 reproduction)
         self.threshold_traces: list[ThresholdTrace] = []
 
@@ -173,6 +180,7 @@ class PaganiIntegrator:
 
         rule = get_rule(ndim)
         dev = self.device
+        bk = self.backend
         dev.reset_clock()
         dev.memory.reset()
         self.threshold_traces = []
@@ -180,7 +188,9 @@ class PaganiIntegrator:
         flops_region = rule.flops_per_region(flops_per_eval)
 
         t0 = time.perf_counter()
-        store = RegionStore.uniform_split(bounds_arr, cfg.splits_for(ndim), device=dev)
+        store = RegionStore.uniform_split(
+            bounds_arr, cfg.splits_for(ndim), device=dev, backend=bk
+        )
 
         v_finished = 0.0
         e_finished = 0.0
@@ -208,6 +218,7 @@ class PaganiIntegrator:
                 integrand,
                 error_model=cfg.error_model,
                 chunk_budget=cfg.chunk_budget,
+                backend=bk,
             )
             neval += ev.neval
             dev.charge_kernel("evaluate", work_items=m, flops_per_item=flops_region)
@@ -232,15 +243,15 @@ class PaganiIntegrator:
                     abs_share=cfg.relerr_margin * tau_abs / m,
                 )
             else:
-                active = np.ones(m, dtype=bool)
+                active = bk.xp.ones(m, dtype=bool)
 
             # --- global reduction + termination (lines 13-16) ---------
-            v_it = thrust.reduce_sum(dev, ev.estimate, name="thrust::reduce(V)")
-            e_it = thrust.reduce_sum(dev, errors, name="thrust::reduce(E)")
+            v_it = thrust.reduce_sum(dev, ev.estimate, name="thrust::reduce(V)", backend=bk)
+            e_it = thrust.reduce_sum(dev, errors, name="thrust::reduce(E)", backend=bk)
             v_global = v_it + v_finished
             e_global = e_it + e_finished
 
-            n_active = thrust.count_nonzero(dev, active)
+            n_active = thrust.count_nonzero(dev, active, backend=bk)
             n_fin_rel = m - n_active
 
             if e_global <= tau_abs:
@@ -300,6 +311,7 @@ class PaganiIntegrator:
                     mem_fraction=cfg.mem_fraction,
                     max_direction_changes=cfg.max_direction_changes,
                     device=dev,
+                    backend=bk,
                 )
                 self.threshold_traces.append(ttrace)
                 if not ttrace.success and trigger_mem:
@@ -316,17 +328,18 @@ class PaganiIntegrator:
                         mem_fraction=cfg.mem_fraction,
                         max_direction_changes=cfg.max_direction_changes,
                         device=dev,
+                        backend=bk,
                     )
                     self.threshold_traces.append(ttrace)
                 if ttrace.success:
                     e_finished_threshold += float(np.sum(errors[before & ~active]))
-                new_active = thrust.count_nonzero(dev, active)
+                new_active = thrust.count_nonzero(dev, active, backend=bk)
                 n_fin_threshold = n_active - new_active
                 n_active = new_active
 
             # --- accumulate finished contributions (lines 18-19) ------
-            v_active = thrust.dot(dev, ev.estimate, active.astype(np.float64))
-            e_active = thrust.dot(dev, errors, active.astype(np.float64))
+            v_active = thrust.dot(dev, ev.estimate, active.astype(np.float64), backend=bk)
+            e_active = thrust.dot(dev, errors, active.astype(np.float64), backend=bk)
             v_finished += v_it - v_active
             e_finished += e_it - e_active
 

@@ -20,15 +20,23 @@ The two structural kernels of Algorithm 2 are implemented here:
 Both charge the virtual device and account region bytes against the device
 memory pool, which is how the memory-exhaustion trigger of §3.5.2 becomes
 observable.
+
+The parallel arrays are owned by a pluggable
+:class:`~repro.backends.base.ArrayBackend` (NumPy by default): the store's
+arrays are whatever array type the backend produces, and the structural
+kernels create/compact them through the backend's namespace and
+primitives.  The cost accounting is backend-independent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from repro.backends import BackendSpec, NumpyBackend, get_backend
+from repro.backends.base import ArrayBackend
 from repro.errors import ConfigurationError, DeviceMemoryError
 from repro.gpu import thrust
 from repro.gpu.device import VirtualDevice
@@ -57,6 +65,8 @@ class RegionStore:
     split_axis: np.ndarray  # (m,) int64
     parent_estimate: Optional[np.ndarray]  # (m,) or None on iteration 0
     device: Optional[VirtualDevice] = None
+    #: execution backend owning the arrays (NumPy when not specified)
+    backend: ArrayBackend = field(default_factory=NumpyBackend)
     _mem_handle: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -68,13 +78,18 @@ class RegionStore:
         bounds: np.ndarray,
         splits_per_axis: int,
         device: Optional[VirtualDevice] = None,
+        backend: BackendSpec = None,
     ) -> "RegionStore":
         """Partition the integration box into ``d^n`` equal sub-regions.
 
         This is Algorithm 2 line 4 (``Uniform-Split``): the pre-processing
         step that seeds the breadth-first expansion with enough parallelism
-        to occupy the device from the first iteration.
+        to occupy the device from the first iteration.  The grid is built
+        on the host and uploaded once through ``backend.asarray`` — the
+        breadth-first loop never moves region arrays off the backend again.
         """
+        bk = get_backend(backend)
+        xp = bk.xp
         bounds = np.asarray(bounds, dtype=np.float64)
         if bounds.ndim != 2 or bounds.shape[1] != 2:
             raise ConfigurationError("bounds must have shape (ndim, 2)")
@@ -95,13 +110,14 @@ class RegionStore:
         halfwidths = np.broadcast_to(width / 2.0, (m, ndim)).copy()
         store = cls(
             ndim=ndim,
-            centers=np.ascontiguousarray(centers),
-            halfwidths=halfwidths,
-            estimate=np.zeros(m),
-            error=np.zeros(m),
-            split_axis=np.zeros(m, dtype=np.int64),
+            centers=bk.asarray(np.ascontiguousarray(centers)),
+            halfwidths=bk.asarray(halfwidths),
+            estimate=xp.zeros(m),
+            error=xp.zeros(m),
+            split_axis=xp.zeros(m, dtype=np.int64),
             parent_estimate=None,
             device=device,
+            backend=bk,
         )
         store._account_memory()
         if device is not None:
@@ -163,20 +179,22 @@ class RegionStore:
         exactly as in the paper ("any regions that PAGANI filters out are
         permanently removed").
         """
-        active = np.asarray(active, dtype=bool)
+        bk = self.backend
+        active = bk.asarray(active).astype(bool)
         if active.shape[0] != self.size:
             raise ValueError("flag length mismatch")
         # Index computation is an exclusive scan on device; the gather is
-        # what NumPy boolean indexing performs.
-        thrust.exclusive_scan(self.device, active.astype(np.int64))
-        keep = np.nonzero(active)[0]
-        self.centers = self.centers[keep]
-        self.halfwidths = self.halfwidths[keep]
-        self.estimate = self.estimate[keep]
-        self.error = self.error[keep]
-        self.split_axis = self.split_axis[keep]
+        # the backend's stream-compaction primitive.
+        thrust.exclusive_scan(
+            self.device, active.astype(np.int64), backend=bk
+        )
+        self.centers = bk.compress(active, self.centers)
+        self.halfwidths = bk.compress(active, self.halfwidths)
+        self.estimate = bk.compress(active, self.estimate)
+        self.error = bk.compress(active, self.error)
+        self.split_axis = bk.compress(active, self.split_axis)
         if self.parent_estimate is not None:
-            self.parent_estimate = self.parent_estimate[keep]
+            self.parent_estimate = bk.compress(active, self.parent_estimate)
         if self.device is not None:
             self.device.charge_kernel(
                 "filter",
@@ -202,6 +220,7 @@ class RegionStore:
         """
         m = self.size
         n = self.ndim
+        xp = self.backend.xp
         if self.device is not None:
             extra = 2 * m * bytes_per_region(n)
             if not self.device.memory.can_fit(extra):
@@ -209,27 +228,27 @@ class RegionStore:
                     requested=extra, available=self.device.memory.available
                 )
         axes = self.split_axis
-        rows = np.arange(m)
+        rows = xp.arange(m)
         new_half = self.halfwidths.copy()
         new_half[rows, axes] *= 0.5
-        offset = np.zeros((m, n))
+        offset = xp.zeros((m, n))
         offset[rows, axes] = new_half[rows, axes]
 
-        centers = np.empty((2 * m, n))
-        halfwidths = np.empty((2 * m, n))
+        centers = xp.empty((2 * m, n))
+        halfwidths = xp.empty((2 * m, n))
         centers[0::2] = self.centers - offset
         centers[1::2] = self.centers + offset
         halfwidths[0::2] = new_half
         halfwidths[1::2] = new_half
 
-        parent_estimate = np.repeat(self.estimate, 2)
+        parent_estimate = xp.repeat(self.estimate, 2)
 
         self.centers = centers
         self.halfwidths = halfwidths
         self.parent_estimate = parent_estimate
-        self.estimate = np.zeros(2 * m)
-        self.error = np.zeros(2 * m)
-        self.split_axis = np.zeros(2 * m, dtype=np.int64)
+        self.estimate = xp.zeros(2 * m)
+        self.error = xp.zeros(2 * m)
+        self.split_axis = xp.zeros(2 * m, dtype=np.int64)
         if self.device is not None:
             self.device.charge_kernel(
                 "split",

@@ -1,12 +1,15 @@
 """Vectorized batch region evaluation: the paper's ``EVALUATE`` kernel.
 
 PAGANI's defining trait is that *all* live regions are evaluated in one
-parallel sweep per iteration.  Here the sweep is a vectorized NumPy pass:
-points for a chunk of regions are materialised as one ``(chunk, p, n)``
-tensor, the integrand is applied to the flattened point list, and the five
-weighted reductions plus the fourth-difference axis scan are computed with
-matrix products and fancy-indexed gathers.  Chunking bounds peak host memory
-(the guides' "be easy on memory" rule) without changing results.
+parallel sweep per iteration.  The sweep executes on a pluggable
+:class:`~repro.backends.base.ArrayBackend` (NumPy by default): points for
+a chunk of regions are materialised as one ``(chunk, p, n)`` tensor, the
+integrand is applied to the flattened point list, and the five weighted
+reductions plus the fourth-difference axis scan are computed with matrix
+products and fancy-indexed gathers.  Chunking bounds peak memory (the
+guides' "be easy on memory" rule) without changing results, and doubles
+as the parallel decomposition: each chunk is an independent thunk the
+backend may schedule on a thread pool or a device stream.
 
 Returned per region:
 
@@ -23,6 +26,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.backends import BackendSpec, get_backend
 from repro.cubature.rules import FOURTH_DIFF_RATIO, GenzMalikRule
 
 #: cap on floats materialised per chunk (regions * points * ndim)
@@ -105,6 +109,7 @@ def evaluate_regions(
     out_estimate: Optional[np.ndarray] = None,
     out_error: Optional[np.ndarray] = None,
     out_axis: Optional[np.ndarray] = None,
+    backend: BackendSpec = None,
 ) -> EvaluationResult:
     """Evaluate a batch of axis-aligned regions with the Genz–Malik rule set.
 
@@ -118,7 +123,13 @@ def evaluate_regions(
     error_model:
         See :func:`_error_from_estimates`.
     chunk_budget:
-        Max floats materialised per chunk; tunes peak memory only.
+        Max floats materialised per chunk; tunes peak memory, and sets the
+        grain of the backend's chunk-level parallelism.
+    backend:
+        Execution backend spec (``None`` = reference NumPy).  The chunk
+        decomposition is backend-independent, and each chunk's arithmetic
+        is identical across host backends, so results do not depend on
+        the backend's schedule.
 
     Notes
     -----
@@ -128,8 +139,10 @@ def evaluate_regions(
     """
     if error_model not in ("cascade", "two_rule", "four_difference"):
         raise ValueError(f"unknown error model {error_model!r}")
-    centers = np.asarray(centers, dtype=np.float64)
-    halfwidths = np.asarray(halfwidths, dtype=np.float64)
+    bk = get_backend(backend)
+    xp = bk.xp
+    centers = bk.asarray(centers, dtype=np.float64)
+    halfwidths = bk.asarray(halfwidths, dtype=np.float64)
     m, n = centers.shape
     if halfwidths.shape != (m, n):
         raise ValueError("centers/halfwidths shape mismatch")
@@ -137,44 +150,60 @@ def evaluate_regions(
         raise ValueError(f"rule is {rule.ndim}-D, regions are {n}-D")
     p = rule.npoints
 
-    estimate = out_estimate if out_estimate is not None else np.empty(m)
-    error = out_error if out_error is not None else np.empty(m)
-    axis = out_axis if out_axis is not None else np.empty(m, dtype=np.int64)
+    estimate = out_estimate if out_estimate is not None else xp.empty(m)
+    error = out_error if out_error is not None else xp.empty(m)
+    axis = out_axis if out_axis is not None else xp.empty(m, dtype=np.int64)
 
     need_companions = error_model in ("four_difference", "cascade")
     chunk = max(1, int(chunk_budget // (p * n)))
-    pts_ref = rule.points  # (p, n)
+    pts_ref = bk.asarray(rule.points)  # (p, n)
+    w7 = bk.asarray(rule.w7)
+    w5 = bk.asarray(rule.w5)
+    w3a = bk.asarray(rule.w3a)
+    w3b = bk.asarray(rule.w3b)
+    w1 = bk.asarray(rule.w1)
+    idx2p = bk.asarray(rule.idx2_plus)
+    idx2m = bk.asarray(rule.idx2_minus)
+    idx3p = bk.asarray(rule.idx3_plus)
+    idx3m = bk.asarray(rule.idx3_minus)
 
-    for lo in range(0, m, chunk):
-        hi = min(lo + chunk, m)
-        c = centers[lo:hi]  # (mc, n)
-        h = halfwidths[lo:hi]
-        # (mc, p, n) = c + ref * h  (broadcast over the point axis)
-        pts = c[:, None, :] + pts_ref[None, :, :] * h[:, None, :]
-        vals = integrand(pts.reshape(-1, n)).reshape(hi - lo, p)
-        if vals.dtype != np.float64:
-            vals = vals.astype(np.float64)
-        vol = np.prod(2.0 * h, axis=1)  # (mc,)
+    def chunk_task(lo: int, hi: int):
+        def work() -> None:
+            c = centers[lo:hi]  # (mc, n)
+            h = halfwidths[lo:hi]
+            # (mc, p, n) = c + ref * h  (broadcast over the point axis)
+            pts = c[:, None, :] + pts_ref[None, :, :] * h[:, None, :]
+            vals = bk.map_integrand(integrand, pts.reshape(-1, n))
+            vals = vals.reshape(hi - lo, p)
+            vol = np.prod(2.0 * h, axis=1)  # (mc,)
 
-        i7 = vol * (vals @ rule.w7)
-        i5 = vol * (vals @ rule.w5)
-        estimate[lo:hi] = i7
-        if need_companions:
-            i3a = vol * (vals @ rule.w3a)
-            i3b = vol * (vals @ rule.w3b)
-            i1 = vol * (vals @ rule.w1)
-            error[lo:hi] = _error_from_estimates(i7, i5, i3a, i3b, i1, error_model)
-        else:
-            error[lo:hi] = np.abs(i7 - i5)
+            i7 = vol * (vals @ w7)
+            i5 = vol * (vals @ w5)
+            estimate[lo:hi] = i7
+            if need_companions:
+                i3a = vol * (vals @ w3a)
+                i3b = vol * (vals @ w3b)
+                i1 = vol * (vals @ w1)
+                error[lo:hi] = _error_from_estimates(
+                    i7, i5, i3a, i3b, i1, error_model
+                )
+            else:
+                error[lo:hi] = np.abs(i7 - i5)
 
-        # Fourth divided differences per axis:
-        #   D_i = |(f(+λ2 e_i) + f(−λ2 e_i) − 2 f(0))
-        #          − (λ2²/λ3²) (f(+λ3 e_i) + f(−λ3 e_i) − 2 f(0))|
-        f0 = vals[:, 0][:, None]  # (mc, 1)
-        d2 = vals[:, rule.idx2_plus] + vals[:, rule.idx2_minus] - 2.0 * f0
-        d3 = vals[:, rule.idx3_plus] + vals[:, rule.idx3_minus] - 2.0 * f0
-        fourth = np.abs(d2 - FOURTH_DIFF_RATIO * d3)  # (mc, n)
-        axis[lo:hi] = np.argmax(fourth, axis=1)
+            # Fourth divided differences per axis:
+            #   D_i = |(f(+λ2 e_i) + f(−λ2 e_i) − 2 f(0))
+            #          − (λ2²/λ3²) (f(+λ3 e_i) + f(−λ3 e_i) − 2 f(0))|
+            f0 = vals[:, 0][:, None]  # (mc, 1)
+            d2 = vals[:, idx2p] + vals[:, idx2m] - 2.0 * f0
+            d3 = vals[:, idx3p] + vals[:, idx3m] - 2.0 * f0
+            fourth = np.abs(d2 - FOURTH_DIFF_RATIO * d3)  # (mc, n)
+            axis[lo:hi] = np.argmax(fourth, axis=1)
+
+        return work
+
+    bk.run_chunks(
+        [chunk_task(lo, min(lo + chunk, m)) for lo in range(0, m, chunk)]
+    )
 
     return EvaluationResult(
         estimate=estimate, error=error, split_axis=axis, neval=m * p

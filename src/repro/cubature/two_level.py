@@ -23,6 +23,11 @@ errors ``e_a, e_b``:
   ``e_child · max(SHRINK_FLOOR, δ/(e_a+e_b))``.
 
 Children are laid out pairwise: child ``2k`` and ``2k+1`` share parent ``k``.
+
+The arithmetic is written entirely with NumPy ufuncs and dispatching array
+functions, so it runs unchanged on any
+:class:`~repro.backends.base.ArrayBackend` array type (NumPy, CuPy, …):
+pass backend-owned arrays in, get a backend-owned array out.
 """
 
 from __future__ import annotations

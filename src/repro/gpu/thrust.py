@@ -2,12 +2,16 @@
 
 The paper's implementation leans on Thrust for reductions, dot products,
 min/max and prefix scans in PAGANI's post-processing and threshold-search
-steps.  Each wrapper here executes with NumPy and charges the device cost
-model as a memory-bound kernel (these primitives stream the operand arrays
-once or twice through HBM, so bytes-moved is the right roofline axis).
+steps.  Each wrapper here executes through a pluggable
+:class:`~repro.backends.base.ArrayBackend` (NumPy when none is given) and
+charges the device cost model as a memory-bound kernel (these primitives
+stream the operand arrays once or twice through HBM, so bytes-moved is
+the right roofline axis).
 
-All functions accept plain ``np.ndarray`` operands; keeping array storage on
-the host is part of the substitution documented in DESIGN.md.
+Passing a backend lets the same call sites run over CuPy device arrays or
+any other registered substrate; the cost accounting is unchanged — the
+virtual device models the paper's hardware regardless of what actually
+executes the arithmetic.
 """
 
 from __future__ import annotations
@@ -16,14 +20,21 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backends import get_backend
+from repro.backends.base import ArrayBackend
 from repro.gpu.device import VirtualDevice
 
 _F8 = 8  # bytes per float64
 
 
-def reduce_sum(device: Optional[VirtualDevice], values: np.ndarray, name: str = "thrust::reduce") -> float:
+def reduce_sum(
+    device: Optional[VirtualDevice],
+    values: np.ndarray,
+    name: str = "thrust::reduce",
+    backend: Optional[ArrayBackend] = None,
+) -> float:
     """Sum-reduce a vector (PAGANI lines 13-14)."""
-    out = float(np.sum(values))
+    out = get_backend(backend).reduce_sum(values)
     if device is not None:
         device.charge_kernel(name, work_items=values.size, bytes_per_item=_F8)
     return out
@@ -34,21 +45,23 @@ def dot(
     a: np.ndarray,
     b: np.ndarray,
     name: str = "thrust::inner_product",
+    backend: Optional[ArrayBackend] = None,
 ) -> float:
     """Dot product, used for ``Sum(V . A)`` / ``Sum(E . A)`` (lines 18-19)."""
-    out = float(np.dot(a, b))
+    out = get_backend(backend).dot(a, b)
     if device is not None:
         device.charge_kernel(name, work_items=a.size, bytes_per_item=2 * _F8)
     return out
 
 
 def minmax(
-    device: Optional[VirtualDevice], values: np.ndarray, name: str = "thrust::minmax_element"
+    device: Optional[VirtualDevice],
+    values: np.ndarray,
+    name: str = "thrust::minmax_element",
+    backend: Optional[ArrayBackend] = None,
 ) -> Tuple[float, float]:
     """Simultaneous min/max, used to bound the threshold search."""
-    if values.size == 0:
-        raise ValueError("minmax of empty array")
-    out = (float(np.min(values)), float(np.max(values)))
+    out = get_backend(backend).minmax(values)
     if device is not None:
         device.charge_kernel(name, work_items=values.size, bytes_per_item=_F8)
     return out
@@ -58,24 +71,27 @@ def exclusive_scan(
     device: Optional[VirtualDevice],
     flags: np.ndarray,
     name: str = "thrust::exclusive_scan",
+    backend: Optional[ArrayBackend] = None,
 ) -> np.ndarray:
     """Exclusive prefix sum over 0/1 flags.
 
     This is the compaction index computation used by the filter kernel: the
     scan of the active flags gives each surviving region its output slot.
     """
-    out = np.cumsum(flags, dtype=np.int64)
-    out = np.concatenate(([0], out[:-1]))
+    out = get_backend(backend).exclusive_scan(flags)
     if device is not None:
         device.charge_kernel(name, work_items=flags.size, bytes_per_item=2 * _F8)
     return out
 
 
 def count_nonzero(
-    device: Optional[VirtualDevice], flags: np.ndarray, name: str = "thrust::count"
+    device: Optional[VirtualDevice],
+    flags: np.ndarray,
+    name: str = "thrust::count",
+    backend: Optional[ArrayBackend] = None,
 ) -> int:
     """Count set flags (number of active regions)."""
-    out = int(np.count_nonzero(flags))
+    out = get_backend(backend).count_nonzero(flags)
     if device is not None:
         device.charge_kernel(name, work_items=flags.size, bytes_per_item=_F8)
     return out

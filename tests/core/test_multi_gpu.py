@@ -78,6 +78,7 @@ def _four_peaks(ndim=4, c=900.0):
     return Integrand(fn=fn, ndim=ndim, reference=ref, flops_per_eval=120.0)
 
 
+@pytest.mark.slow
 def test_fleet_memory_extends_attainable_precision():
     """§4.4's motivation: more devices = more total memory = more digits.
     A workload that memory-exhausts one tiny device converges on a fleet

@@ -30,6 +30,7 @@ def test_same_device_reused_across_runs_resets_cleanly():
     assert dev.memory.in_use == 0
 
 
+@pytest.mark.slow
 def test_bigger_device_never_reduces_attainable_digits():
     g = gaussian_nd(4, c=900.0)
     small = PaganiIntegrator(

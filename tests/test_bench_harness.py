@@ -107,3 +107,29 @@ def test_integrand_catalogues_have_references():
         for name, integrand in cat.items():
             assert integrand.reference is not None, name
             assert integrand.ndim == int(name.split("D")[0])
+
+
+def test_backend_bench_smoke_roundtrip(tmp_path):
+    data = hz.run_backend_bench(backends=["numpy", "threaded"], smoke=True)
+    assert data["mode"] == "smoke"
+    assert set(data["backends"]) == {"numpy", "threaded"}
+    for spec, rows in data["backends"].items():
+        assert rows, spec
+        for r in rows:
+            assert r["matches_numpy"], (spec, r)
+            assert r["wall_seconds"] > 0
+            assert r["converged"]
+
+    path = hz.write_backend_bench(data, out=tmp_path / "BENCH_backends.json")
+    import json
+
+    loaded = json.loads(path.read_text())
+    assert loaded["backends"]["threaded"][0]["estimate"] == pytest.approx(
+        data["backends"]["threaded"][0]["estimate"]
+    )
+
+
+def test_backend_bench_skips_unavailable_backends():
+    data = hz.run_backend_bench(backends=["cupy"], smoke=True)
+    # on a CUDA host this runs; everywhere else it must skip, not crash
+    assert "cupy" in data["backends"] or "cupy" in data["skipped_backends"]

@@ -39,6 +39,7 @@ def test_cosmology_likelihood_runs(capsys):
     assert "finished" in out
 
 
+@pytest.mark.slow
 def test_beam_dynamics_runs(capsys):
     _load("beam_dynamics").main()
     out = capsys.readouterr().out

@@ -18,6 +18,7 @@ def test_top_level_exports():
     [
         "repro.core",
         "repro.cubature",
+        "repro.backends",
         "repro.gpu",
         "repro.baselines",
         "repro.integrands",
@@ -39,6 +40,7 @@ def test_submodules_importable_and_documented(module):
     [
         "repro.core",
         "repro.cubature",
+        "repro.backends",
         "repro.gpu",
         "repro.baselines",
         "repro.integrands",

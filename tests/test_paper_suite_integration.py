@@ -13,6 +13,10 @@ from repro.core import PaganiConfig, PaganiIntegrator
 from repro.gpu.device import DeviceSpec, VirtualDevice
 from repro.integrands.paper import paper_suite
 
+# The 6D/8D members take minutes each at full stack depth; the whole
+# module is the definition of "end-to-end slow".
+pytestmark = pytest.mark.slow
+
 SUITE = {f.name: f for f in paper_suite()}
 
 #: f6's cuts align with tenths (see integrands/paper.py); everything else
