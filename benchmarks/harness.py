@@ -532,14 +532,19 @@ def run_backend_bench(
     }
 
 
-def write_backend_bench(data: dict, out: Optional[Path] = None) -> Path:
-    """Write the backend-benchmark payload as pretty JSON; return the path."""
+def _write_bench_json(data: dict, out: Optional[Path], default_name: str) -> Path:
+    """Write a benchmark payload as pretty JSON; return the path."""
     import json
 
-    path = Path(out) if out is not None else RESULTS_DIR / BACKEND_BENCH_FILE
+    path = Path(out) if out is not None else RESULTS_DIR / default_name
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def write_backend_bench(data: dict, out: Optional[Path] = None) -> Path:
+    """Write the backend-benchmark payload as pretty JSON; return the path."""
+    return _write_bench_json(data, out, BACKEND_BENCH_FILE)
 
 
 def print_backend_bench(data: dict) -> None:
@@ -585,6 +590,180 @@ def print_backend_bench(data: dict) -> None:
     )
 
 
+# ---------------------------------------------------------------------------
+# Batched-execution benchmark (BENCH_batch.json)
+#
+# The batched multi-integrand layer (repro.batch) claims that interleaving
+# many PAGANI runs over one shared backend beats running them back-to-back.
+# This benchmark measures exactly that: the full six-family Genz suite at
+# several dimensionalities, integrated once sequentially (a loop of
+# integrate() calls) and once through integrate_many(), per backend.  The
+# recorded speedup is the batched-vs-sequential wall-clock throughput
+# ratio; on the numpy backend the per-member results are additionally
+# checked bit-identical across the two modes.
+# ---------------------------------------------------------------------------
+BATCH_BENCH_FILE = "BENCH_batch.json"
+
+#: tolerance/iteration budget for the batch workload; coarse enough that
+#: every member converges at laptop scale, fine enough that the evaluate
+#: sweep dominates wall time.
+BATCH_REL_TOL = 1e-4
+BATCH_MAX_ITERATIONS = 30
+
+
+def batch_bench_members(smoke: bool = False) -> List[Integrand]:
+    """The batch workload: all six Genz families × several dimensions."""
+    from repro.integrands.genz import GenzFamily, make_genz
+
+    dims = (2, 3) if smoke else (2, 3, 5, 6)
+    families = (
+        [GenzFamily.GAUSSIAN, GenzFamily.PRODUCT_PEAK]
+        if smoke
+        else list(GenzFamily)
+    )
+    return [
+        make_genz(fam, ndim, seed=seed)
+        for seed, (fam, ndim) in enumerate(
+            (f, d) for f in families for d in dims
+        )
+    ]
+
+
+def run_batch_bench(
+    backends: Optional[Sequence[str]] = None, smoke: bool = False
+) -> dict:
+    """Time sequential vs batched execution per backend; return the payload."""
+    import math as _math
+    import platform
+    import sys as _sys
+    import time as _time
+
+    from repro.api import integrate, integrate_many
+    from repro.backends import (
+        BackendUnavailableError,
+        available_backends,
+        get_backend,
+    )
+    from repro.cubature.rules import get_rule
+
+    if backends is None:
+        backends = available_backends()
+    members = batch_bench_members(smoke=smoke)
+    for f in members:  # warm the host-side rule cache so neither mode pays it
+        get_rule(f.ndim)
+
+    per_backend: Dict[str, dict] = {}
+    skipped: List[str] = []
+    for spec in backends:
+        try:
+            bk = get_backend(spec)
+        except BackendUnavailableError as exc:
+            print(f"skipping backend {spec!r}: {exc}", file=_sys.stderr)
+            skipped.append(spec)
+            continue
+
+        t0 = _time.perf_counter()
+        seq = [
+            integrate(
+                f, f.ndim, rel_tol=BATCH_REL_TOL, backend=bk,
+                max_iterations=BATCH_MAX_ITERATIONS,
+            )
+            for f in members
+        ]
+        t_seq = _time.perf_counter() - t0
+
+        t0 = _time.perf_counter()
+        bat, stats = integrate_many(
+            members, rel_tol=BATCH_REL_TOL, backend=bk,
+            max_iterations=BATCH_MAX_ITERATIONS, return_stats=True,
+        )
+        t_bat = _time.perf_counter() - t0
+
+        # Agreement contract: numpy batched must reproduce sequential bits
+        # exactly; parallel backends run a different fused chunk grain and
+        # are held to the cupy-style machine-precision contract.
+        rows: List[dict] = []
+        for f, rs, rb in zip(members, seq, bat):
+            if bk.name == "numpy":
+                matches = (
+                    rs.estimate == rb.estimate
+                    and rs.errorest == rb.errorest
+                    and rs.iterations == rb.iterations
+                )
+            else:
+                matches = _math.isclose(
+                    rs.estimate, rb.estimate, rel_tol=1e-12, abs_tol=0.0
+                ) and _math.isclose(
+                    rs.errorest, rb.errorest, rel_tol=1e-9, abs_tol=1e-300
+                )
+            rows.append(
+                {
+                    "integrand": f.name,
+                    "ndim": f.ndim,
+                    "status": rb.status.value,
+                    "converged": rb.converged,
+                    "estimate": rb.estimate,
+                    "errorest": rb.errorest,
+                    "iterations": rb.iterations,
+                    "sequential_wall_seconds": rs.wall_seconds,
+                    "matches_sequential": matches,
+                }
+            )
+        per_backend[spec] = {
+            "sequential_seconds": t_seq,
+            "batched_seconds": t_bat,
+            "speedup": t_seq / t_bat if t_bat > 0 else float("inf"),
+            "rounds": stats.rounds,
+            "fused_chunks": stats.chunks_submitted,
+            "members": rows,
+        }
+
+    return {
+        "schema": 1,
+        "suite": "pagani-batch-bench",
+        "mode": "smoke" if smoke else "full",
+        "rel_tol": BATCH_REL_TOL,
+        "n_members": len(members),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "skipped_backends": skipped,
+        "backends": per_backend,
+    }
+
+
+def write_batch_bench(data: dict, out: Optional[Path] = None) -> Path:
+    """Write the batch-benchmark payload as pretty JSON; return the path."""
+    return _write_bench_json(data, out, BATCH_BENCH_FILE)
+
+
+def print_batch_bench(data: dict) -> None:
+    body = []
+    for spec in sorted(data["backends"]):
+        d = data["backends"][spec]
+        n_ok = sum(r["converged"] for r in d["members"])
+        n_match = sum(r["matches_sequential"] for r in d["members"])
+        body.append(
+            [
+                spec,
+                f"{d['sequential_seconds']:.2f}s",
+                f"{d['batched_seconds']:.2f}s",
+                f"{d['speedup']:.2f}x",
+                f"{n_ok}/{len(d['members'])}",
+                f"{n_match}/{len(d['members'])}",
+            ]
+        )
+    print_table(
+        f"Batched vs sequential ({data['mode']}, {data['n_members']} Genz "
+        f"members, rel_tol={data['rel_tol']:g})",
+        ["backend", "sequential", "batched", "speedup", "converged", "agree"],
+        body,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry: run the backend benchmark and write BENCH_backends.json."""
     import argparse
@@ -594,7 +773,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     ap = argparse.ArgumentParser(
         description="Run the fig5/fig6 PAGANI workloads per execution "
-        "backend and write the BENCH_backends.json perf baseline."
+        "backend and write the BENCH_backends.json perf baseline, or (with "
+        "--batch) the batched-vs-sequential throughput benchmark writing "
+        "BENCH_batch.json."
     )
     ap.add_argument(
         "--backends", default=None,
@@ -605,14 +786,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="one tiny workload only (CI smoke run)",
     )
     ap.add_argument(
+        "--batch", action="store_true",
+        help="run the batched-execution benchmark instead "
+        f"(writes results/{BATCH_BENCH_FILE})",
+    )
+    ap.add_argument(
         "--out", default=None,
-        help=f"output path (default: results/{BACKEND_BENCH_FILE})",
+        help="output path (default: results/"
+        f"{BACKEND_BENCH_FILE} or results/{BATCH_BENCH_FILE})",
     )
     args = ap.parse_args(argv)
 
     backends = args.backends.split(",") if args.backends else None
+    if args.batch:
+        def run():
+            return run_batch_bench(backends=backends, smoke=args.smoke)
+
+        def mismatches(data):
+            return [
+                (spec, r["integrand"])
+                for spec, d in data["backends"].items()
+                for r in d["members"]
+                if not r["matches_sequential"]
+            ]
+
+        writer, printer = write_batch_bench, print_batch_bench
+        disagrees_with = "their sequential runs"
+    else:
+        def run():
+            return run_backend_bench(backends=backends, smoke=args.smoke)
+
+        def mismatches(data):
+            return [
+                (spec, r["integrand"], r["digits"])
+                for spec, rows in data["backends"].items()
+                for r in rows
+                if not r["matches_numpy"] and "numpy" in data["backends"]
+            ]
+
+        writer, printer = write_backend_bench, print_backend_bench
+        disagrees_with = "the numpy reference"
+
     try:
-        data = run_backend_bench(backends=backends, smoke=args.smoke)
+        data = run()
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -621,18 +837,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("error: no requested backend could run; nothing written",
               file=sys.stderr)
         return 2
-    path = write_backend_bench(data, out=args.out)
-    print_backend_bench(data)
+    path = writer(data, out=args.out)
+    printer(data)
     print(f"\nwrote {path}")
-    mismatches = [
-        (spec, r["integrand"], r["digits"])
-        for spec, rows in data["backends"].items()
-        for r in rows
-        if not r["matches_numpy"] and "numpy" in data["backends"]
-    ]
-    if mismatches:
-        print(f"WARNING: {len(mismatches)} rows disagree with the numpy "
-              f"reference: {mismatches}")
+    bad = mismatches(data)
+    if bad:
+        print(f"WARNING: {len(bad)} rows disagree with {disagrees_with}: {bad}")
         return 1
     return 0
 

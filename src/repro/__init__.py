@@ -17,6 +17,7 @@ Package map
 -----------
 ``repro.core``        PAGANI itself (Algorithms 2 and 3)
 ``repro.cubature``    Genz–Malik rules, batch evaluation, two-level errors
+``repro.batch``       batched multi-integrand scheduling (integrate_many)
 ``repro.backends``    pluggable array-execution backends (numpy/threaded/cupy)
 ``repro.gpu``         virtual device: cost model, memory pool, scheduler
 ``repro.baselines``   sequential Cuhre, two-phase GPU method, randomized QMC
@@ -25,7 +26,7 @@ Package map
 ``repro.diagnostics`` traces, tree statistics, load-imbalance reports
 """
 
-from repro.api import integrate
+from repro.api import integrate, integrate_many
 from repro.backends import ArrayBackend, available_backends, get_backend
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.core.result import IntegrationResult, Status
@@ -39,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "integrate",
+    "integrate_many",
     "IntegrationResult",
     "Status",
     "PaganiConfig",

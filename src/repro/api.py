@@ -6,6 +6,12 @@ Most users want one call::
     result = integrate(f, ndim=5, rel_tol=1e-6)            # PAGANI
     result = integrate(f, ndim=5, method="cuhre")          # baseline
 
+Many independent integrals go through the batched entry point, which
+interleaves their PAGANI iterations over one shared backend::
+
+    from repro import integrate_many
+    results = integrate_many([f, g, h], rel_tol=1e-6, backend="threaded")
+
 Method-specific configuration objects remain available for full control
 (:class:`~repro.core.PaganiConfig` etc.); keyword arguments here cover the
 common knobs.
@@ -13,18 +19,18 @@ common knobs.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.backends import BackendSpec
+from repro.backends import BackendSpec, get_backend
 from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
 from repro.baselines.qmc import QmcConfig, QmcIntegrator
 from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.core.result import IntegrationResult
 from repro.errors import ConfigurationError
-from repro.gpu.device import VirtualDevice
+from repro.gpu.device import DeviceSpec, VirtualDevice
 
 _METHODS = ("pagani", "cuhre", "two_phase", "qmc")
 
@@ -128,3 +134,203 @@ def integrate(
     if ref is not None:
         result.true_value = float(ref)
     return result
+
+
+def _resolve_member_bounds(
+    bounds, ndims: List[int]
+) -> List[Optional[np.ndarray]]:
+    """Resolve the ``bounds`` argument of :func:`integrate_many`.
+
+    Accepts ``None`` (unit cubes), a per-member sequence (``None`` entries
+    allowed), or — when every member shares one dimensionality — a single
+    ``(ndim, 2)`` box applied to all.
+    """
+    n = len(ndims)
+    if bounds is None:
+        return [None] * n
+    # Per-member sequence (list/tuple/array): right length and every
+    # entry is None or (ndim_i, 2).
+    if isinstance(bounds, (list, tuple, np.ndarray)) and len(bounds) == n:
+        per_member: List[Optional[np.ndarray]] = []
+        ok = True
+        for b, d in zip(bounds, ndims):
+            if b is None:
+                per_member.append(None)
+                continue
+            arr = np.asarray(b, dtype=np.float64)
+            if arr.shape != (d, 2):
+                ok = False
+                break
+            per_member.append(arr)
+        if ok:
+            return per_member
+    # Single shared box.  Ragged inputs make asarray itself raise; fold
+    # that into the same configuration error as a wrong shape.
+    try:
+        arr = np.asarray(bounds, dtype=np.float64)
+    except ValueError:
+        arr = None
+    if arr is not None and len(set(ndims)) == 1 and arr.shape == (ndims[0], 2):
+        return [arr] * n
+    raise ConfigurationError(
+        "bounds must be None, one (ndim, 2) box shared by same-dimension "
+        f"members, or a length-{n} per-member sequence"
+    )
+
+
+def integrate_many(
+    integrands: Sequence[Callable[[np.ndarray], np.ndarray]],
+    ndim: Union[int, Sequence[int], None] = None,
+    bounds=None,
+    rel_tol: float = 1e-3,
+    abs_tol: float = 1e-20,
+    backend: BackendSpec = None,
+    relerr_filtering: Optional[bool] = None,
+    max_iterations: Optional[int] = None,
+    chunk_budget: Optional[int] = None,
+    device_spec: Optional[DeviceSpec] = None,
+    collect_trace: bool = True,
+    return_stats: bool = False,
+    on_member_error: str = "raise",
+):
+    """Integrate many independent integrands as one batched workload.
+
+    All members run the PAGANI breadth-first loop concurrently on one
+    shared execution backend: each scheduling round gives every live
+    member one iteration (round-robin — no member is starved) and fuses
+    their region-evaluation chunks into a single backend submission, so a
+    thread pool or device sees one large batch instead of N small sweeps.
+    Members that converge exit early and free their region memory while
+    the rest keep iterating.  See :mod:`repro.batch` and ``docs/batch.md``.
+
+    Parameters
+    ----------
+    integrands:
+        Batch callables ``(N, ndim_i) -> (N,)``.  Per-member metadata is
+        read from the usual optional attributes (``ndim``,
+        ``sign_definite``, ``reference``, ``flops_per_eval``).
+    ndim:
+        One dimensionality for all members, a per-member sequence, or
+        ``None`` to read each integrand's ``ndim`` attribute.
+    bounds:
+        ``None`` (unit cubes), a single ``(ndim, 2)`` box shared by
+        same-dimension members, or a per-member sequence of boxes
+        (``None`` entries mean unit cube).
+    rel_tol / abs_tol / max_iterations / relerr_filtering:
+        As in :func:`integrate`, applied to every member
+        (``relerr_filtering=None`` reads each member's ``sign_definite``).
+    backend:
+        The shared execution backend.  On ``"numpy"`` the members keep
+        the reference chunk decomposition and every result is
+        **bit-identical** to a sequential :func:`integrate` call.  The
+        ``"threaded"`` backend switches to the throughput-tuned fused
+        chunk grain (``FUSED_CHUNK_BUDGET``) and is therefore held to
+        machine-precision agreement rather than bit-identity — the same
+        contract the ``"cupy"`` backend always has; cupy itself keeps
+        the large reference chunks (a device wants big launches).
+    chunk_budget:
+        Override the per-member chunk budget (floats per chunk).  Default:
+        the backend's ``preferred_batch_chunk_budget`` when it declares
+        one (threaded does), else the reference budget (numpy/cupy).
+    device_spec:
+        Virtual-device spec for each member (memory-scaled V100 default —
+        the same device a plain :func:`integrate` call builds).
+    return_stats:
+        When True, return ``(results, BatchStats)`` instead of just the
+        result list (scheduler rounds, fused submissions, fairness
+        counters).
+    on_member_error:
+        What to do when a member's *integrand raises* during evaluation.
+        ``"raise"`` (default): abort the whole call by re-raising
+        :class:`~repro.batch.BatchMemberError` (the original exception
+        chained) — healthy members' partial work is discarded.
+        ``"skip"``: abandon the offender, keep batching, and return
+        ``None`` in its slot.
+
+    Returns
+    -------
+    list[IntegrationResult]
+        One result per integrand, in input order, with ``true_value``
+        filled in from each integrand's ``reference`` attribute
+        (``None`` entries for members skipped under
+        ``on_member_error="skip"``).  A member's ``wall_seconds`` spans
+        batch start to that member's exit — elapsed shared time, not the
+        member's own compute cost (members interleave on one backend);
+        per-member ``sim_seconds`` remains the isolated cost model.
+    """
+    from repro.batch import BatchMemberError, BatchScheduler
+
+    if on_member_error not in ("raise", "skip"):
+        raise ConfigurationError(
+            f"on_member_error must be 'raise' or 'skip', got "
+            f"{on_member_error!r}"
+        )
+
+    integrands = list(integrands)
+    n = len(integrands)
+    if ndim is None:
+        ndims = []
+        for f in integrands:
+            d = getattr(f, "ndim", None)
+            if d is None:
+                raise ConfigurationError(
+                    "ndim=None requires every integrand to carry an 'ndim' "
+                    "attribute"
+                )
+            ndims.append(int(d))
+    elif isinstance(ndim, int):
+        ndims = [ndim] * n
+    else:
+        ndims = [int(d) for d in ndim]
+        if len(ndims) != n:
+            raise ConfigurationError(
+                f"got {len(ndims)} ndim values for {n} integrands"
+            )
+    member_bounds = _resolve_member_bounds(bounds, ndims)
+
+    bk = get_backend(backend)
+    if chunk_budget is not None:
+        budget = int(chunk_budget)
+    elif bk.preferred_batch_chunk_budget is not None:
+        budget = bk.preferred_batch_chunk_budget
+    else:
+        budget = PaganiConfig.chunk_budget
+
+    scheduler = BatchScheduler(backend=bk)
+    if n == 0:
+        return ([], scheduler.stats) if return_stats else []
+    for f, d, b in zip(integrands, ndims, member_bounds):
+        filtering = (
+            bool(getattr(f, "sign_definite", True))
+            if relerr_filtering is None
+            else relerr_filtering
+        )
+        cfg = PaganiConfig(
+            rel_tol=rel_tol,
+            abs_tol=abs_tol,
+            relerr_filtering=filtering,
+            backend=bk,
+            chunk_budget=budget,
+        )
+        if max_iterations is not None:
+            cfg.max_iterations = max_iterations
+        device = VirtualDevice(device_spec) if device_spec else None
+        integrator = PaganiIntegrator(cfg, device=device)
+        scheduler.add(
+            integrator.start_run(f, d, bounds=b, collect_trace=collect_trace)
+        )
+
+    while True:
+        try:
+            results = scheduler.run()
+            break
+        except BatchMemberError:
+            if on_member_error == "raise":
+                raise
+            # "skip": the scheduler already abandoned the offender and the
+            # other members are intact — keep batching them.
+    for f, res in zip(integrands, results):
+        ref = getattr(f, "reference", None)
+        if res is not None and ref is not None:
+            res.true_value = float(ref)
+    return (results, scheduler.stats) if return_stats else results

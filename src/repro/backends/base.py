@@ -61,6 +61,13 @@ class ArrayBackend(abc.ABC):
     #: registry name, e.g. ``"numpy"``; set by subclasses
     name: str = "abstract"
 
+    #: chunk budget (floats per chunk) the batch layer should use when
+    #: fusing many runs' sweeps onto this backend; ``None`` keeps each
+    #: run's reference budget (required for bit-identity with sequential
+    #: execution — see ``repro.batch``).  Parallel backends that benefit
+    #: from many small cache-sized chunks declare their tuned grain here.
+    preferred_batch_chunk_budget: Optional[int] = None
+
     # -- array namespace & movement ------------------------------------
     @property
     @abc.abstractmethod

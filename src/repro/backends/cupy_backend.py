@@ -105,5 +105,7 @@ class CupyBackend(ArrayBackend):  # pragma: no cover - exercised on GPU hosts
     def exclusive_scan(self, flags: Any) -> Any:
         cp = self._cp
         out = cp.cumsum(flags, dtype=cp.int64)
+        if out.size == 0:
+            return out
         out = cp.concatenate((cp.zeros(1, dtype=cp.int64), out[:-1]))
         return out

@@ -54,5 +54,7 @@ class NumpyBackend(ArrayBackend):
 
     def exclusive_scan(self, flags: Any) -> np.ndarray:
         out = np.cumsum(flags, dtype=np.int64)
+        if out.size == 0:
+            return out
         out = np.concatenate(([0], out[:-1]))
         return out

@@ -36,6 +36,14 @@ class ThreadedNumpyBackend(NumpyBackend):
 
     name = "threaded"
 
+    #: the batch layer's fused grain for this backend: ~1 MiB of points
+    #: per chunk keeps each chunk's working set cache-resident and gives
+    #: the pool many independent work items per fused submission (the
+    #: sequential default of 16M floats yields one chunk per sweep —
+    #: nothing to parallelise).  Trades bit-identity with the reference
+    #: decomposition for throughput; see docs/batch.md.
+    preferred_batch_chunk_budget = 131_072
+
     def __init__(self, num_threads: Optional[int] = None):
         self.num_threads = resolve_workers(num_threads)
         self._pool: Optional[ThreadPoolExecutor] = None

@@ -13,13 +13,20 @@ This module implements the static variant the paper recommends:
 2. seed regions are assigned to devices by greedy largest-first bin packing
    on those scores (the best static proxy for adaptive work, directly
    addressing the Figure 1 imbalance problem);
-3. each device runs an independent PAGANI to a per-device error target
-   (τ_rel applied to the global estimate, apportioned by error share);
-4. results are summed; total simulated time is the *makespan* (devices run
+3. the global tolerance budget ``τ_rel·|V|`` is apportioned to the seed
+   cells as absolute error shares proportional to their scores, and each
+   cell runs an independent PAGANI against its share;
+4. when a cell's run exhausts its device memory, the paper's third
+   redistribution trigger applies — redistribution is "beneficial ...
+   when GPU memory is exhausted" — so the cell is bisected per axis,
+   re-scored, and the pieces are re-packed *across the fleet*; a single
+   device has no peer to share with, so there exhaustion is final (which
+   is §4.4's motivation for multiple GPUs in the first place);
+5. results are summed; total simulated time is the *makespan* (devices run
    concurrently), and the per-device times quantify residual imbalance.
 
-A device whose partition exhausts memory flags the combined result, exactly
-like single-device PAGANI.
+A partition that still exhausts memory after the redistribution budget
+flags the combined result, exactly like single-device PAGANI.
 """
 
 from __future__ import annotations
@@ -72,6 +79,11 @@ class MultiGpuPagani:
         Spec for each device (memory-scaled V100 by default).  Total fleet
         memory is ``n_devices * spec.mem_capacity`` — the robustness
         extension the paper's §4.4 is after.
+    redistribution_rounds:
+        How many times an exhausted partition may be bisected and re-packed
+        across the fleet (§4.4: redistribution "when GPU memory is
+        exhausted").  ``0`` disables redistribution; it is also inert with
+        one device, which has no peer to redistribute to.
     """
 
     def __init__(
@@ -79,14 +91,76 @@ class MultiGpuPagani:
         n_devices: int = 2,
         config: Optional[PaganiConfig] = None,
         device_spec: Optional[DeviceSpec] = None,
+        redistribution_rounds: int = 4,
     ):
         if n_devices < 1:
             raise ConfigurationError("n_devices must be >= 1")
+        if redistribution_rounds < 0:
+            raise ConfigurationError("redistribution_rounds must be >= 0")
         self.n_devices = int(n_devices)
         self.config = config or PaganiConfig()
         self.config.validate()
         self.spec = device_spec or DeviceSpec.scaled()
+        self.redistribution_rounds = int(redistribution_rounds)
         self.last_report: Optional[MultiGpuReport] = None
+        #: per-round redistribution diagnostics of the last run
+        self.redistribution_log: List[dict] = []
+
+    #: §4.4 rescue bisections halve at most this many (widest) axes at a
+    #: time, bounding pieces per bisection at 2^4 = 16 for any ndim — a
+    #: full per-axis bisection of a 10-D+ cell would spawn thousands of
+    #: pieces and starve the budget before the rescue could engage.
+    MAX_BISECT_AXES = 4
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bisect(cell: np.ndarray, max_axes: int = MAX_BISECT_AXES):
+        """Halve ``cell`` along its widest ``max_axes`` axes.
+
+        Returns ``(centers, halfwidths)`` arrays of the ``2^k`` pieces.
+        """
+        lo = cell[:, 0]
+        hi = cell[:, 1]
+        axes = np.argsort(hi - lo)[::-1][: min(max_axes, cell.shape[0])]
+        centers = [(lo + hi) / 2.0]
+        halfwidths = [(hi - lo) / 2.0]
+        for ax in axes:
+            next_c = []
+            next_h = []
+            for c, h in zip(centers, halfwidths):
+                h2 = h.copy()
+                h2[ax] *= 0.5
+                c_lo = c.copy()
+                c_lo[ax] -= h2[ax]
+                c_hi = c.copy()
+                c_hi[ax] += h2[ax]
+                next_c += [c_lo, c_hi]
+                next_h += [h2, h2]
+            centers, halfwidths = next_c, next_h
+        return np.asarray(centers), np.asarray(halfwidths)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apportion(
+        budget: float, scores: np.ndarray, abs_floor: float
+    ) -> np.ndarray:
+        """Split an absolute error budget across work items.
+
+        Half the budget goes proportionally to the items' error scores
+        (hard cells take most of it), half uniformly (quiet cells keep a
+        reachable target instead of a crumb that only memory exhaustion
+        can answer); the shares sum to exactly ``budget`` (before the
+        floor).  The floor is the τ_abs share, kept for budget-less
+        absolute-tolerance runs.
+        """
+        n = scores.shape[0]
+        uniform = np.full(n, 0.5 * budget / n)
+        total = float(np.sum(scores))
+        if total > 0.0 and budget > 0.0:
+            proportional = 0.5 * budget * scores / total
+        else:
+            proportional = uniform
+        return np.maximum(proportional + uniform, abs_floor)
 
     # ------------------------------------------------------------------
     def integrate(
@@ -114,6 +188,7 @@ class MultiGpuPagani:
 
         t0 = time.perf_counter()
         rule = get_rule(ndim)
+        self.redistribution_log = []
 
         # --- seeding pass: score seed regions by error estimate ----------
         seeds = RegionStore.uniform_split(b, int(seed_splits))
@@ -130,62 +205,170 @@ class MultiGpuPagani:
             assignment[idx] = dev
             loads[dev] += scores[idx]
 
-        # error share per device apportions the relative tolerance: each
-        # partition must reach the same relative accuracy on its share
+        # The global tolerance is apportioned to the seed cells as absolute
+        # error shares.  Without this, a cell far from any integrand
+        # feature must reach τ_rel *relative to its own near-zero
+        # estimate* — arbitrarily harder than the global target, and the
+        # way a partition memory-exhausts on work the user never asked
+        # for.  The budget τ_rel·|V| (V from the seeding pass) is split
+        # half proportionally to the cells' seed error scores (hard cells
+        # get most of it) and half uniformly (a reserve so quiet cells are
+        # not starved down to unreachable crumbs); shares sum to ≤ the
+        # budget either way, and the final global re-check below decides
+        # the verdict.
+        # Cells may finish through either tolerance: relatively-converged
+        # cells spend up to Σ cell_rel·|v_i| ≈ cell_rel·|V| of the global
+        # budget and abs-share cells up to the apportioned total, so each
+        # channel gets half of τ_rel·|V| to keep the sum within budget.
         v_seed_total = float(np.sum(ev.estimate))
+        cell_rel = 0.5 * tau_rel
+        abs_shares = self._apportion(
+            0.5 * tau_rel * abs(v_seed_total), scores, tau_abs / seeds.size
+        )
 
-        # --- per-device PAGANI runs ---------------------------------------
+        # --- per-device PAGANI runs with §4.4 redistribution --------------
         v_total = 0.0
         e_total = 0.0
-        statuses: List[Status] = []
-        secs: List[float] = []
-        regions: List[int] = []
+        statuses: List[Status] = [Status.CONVERGED_REL] * self.n_devices
+        secs: List[float] = [0.0] * self.n_devices
+        regions: List[int] = [0] * self.n_devices
         total_regions = 0
         worst = Status.CONVERGED_REL
+        devices = [VirtualDevice(self.spec) for _ in range(self.n_devices)]
 
-        for d in range(self.n_devices):
-            mine = np.nonzero(assignment == d)[0]
-            if mine.size == 0:
-                secs.append(0.0)
-                regions.append(0)
-                statuses.append(Status.CONVERGED_REL)
-                continue
-            device = VirtualDevice(self.spec)
-            dev_v = 0.0
-            dev_e = 0.0
-            dev_sec = 0.0
-            dev_regions = 0
-            dev_status = Status.CONVERGED_REL
-            # each seed region is integrated on the owning device; they run
-            # back-to-back on it (a single device processes its partition
-            # sequentially), so device time accumulates
-            for idx in mine:
-                cell = np.stack(
-                    [seeds.centers[idx] - seeds.halfwidths[idx],
-                     seeds.centers[idx] + seeds.halfwidths[idx]],
-                    axis=1,
-                )
-                integrator = PaganiIntegrator(cfg, device=device)
+        # Per-cell runs start from a partition-scaled initial split: the
+        # seeding pass already did the uniform decomposition, so seeding
+        # every cell with the full single-integral init_target would
+        # multiply the startup work by the cell count for nothing.
+        if cfg.initial_splits is None:
+            from dataclasses import replace as _replace
+
+            cell_cfg = _replace(
+                cfg, init_target=max(16, cfg.init_target // seeds.size)
+            )
+        else:
+            cell_cfg = cfg
+
+        #: total §4.4 redistribution capacity, in bisection pieces — it
+        #: scales with the fleet (more devices, more rescue headroom)
+        piece_budget = 256 * self.n_devices if self.n_devices > 1 else 0
+        pieces_per_bisection = 2 ** min(ndim, self.MAX_BISECT_AXES)
+
+        def cell_bounds(centers_row, halfwidths_row) -> np.ndarray:
+            return np.stack(
+                [centers_row - halfwidths_row, centers_row + halfwidths_row],
+                axis=1,
+            )
+
+        # Work items: (device, bounds, abs error share).  Seed cells run
+        # back-to-back on their owning device (a device processes its
+        # partition sequentially), so device time accumulates across items.
+        work: List[tuple] = [
+            (
+                int(assignment[idx]),
+                cell_bounds(seeds.centers[idx], seeds.halfwidths[idx]),
+                float(abs_shares[idx]),
+            )
+            for idx in range(seeds.size)
+        ]
+
+        for depth in range(self.redistribution_rounds + 1):
+            failed: List[tuple] = []
+            for d, cell, share in work:
+                integrator = PaganiIntegrator(cell_cfg, device=devices[d])
                 res = integrator.integrate(
                     integrand, ndim, bounds=cell,
-                    rel_tol=tau_rel, abs_tol=tau_abs / seeds.size,
+                    rel_tol=cell_rel, abs_tol=share,
                     collect_trace=False,
                 )
-                dev_v += res.estimate
-                dev_e += res.errorest
-                dev_sec += res.sim_seconds
-                dev_regions += res.nregions
+                secs[d] += res.sim_seconds
+                regions[d] += res.nregions
+                total_regions += res.nregions
                 neval += res.neval
+                if (
+                    res.status
+                    in (Status.MEMORY_EXHAUSTED, Status.NO_ACTIVE_REGIONS)
+                    and depth < self.redistribution_rounds
+                    and piece_budget >= pieces_per_bisection
+                ):
+                    # §4.4's third trigger: redistribute "when GPU memory
+                    # is exhausted".  The failed partition's work (and its
+                    # partial result) is discarded; its pieces are re-run
+                    # across the fleet below.  A lone device has no peer
+                    # to share with (piece_budget is zero), so there the
+                    # exhaustion stands — the precise robustness gap a
+                    # fleet closes.
+                    failed.append((d, cell, share, res))
+                    continue
+                v_total += res.estimate
+                e_total += res.errorest
                 if not res.converged:
-                    dev_status = res.status
-            v_total += dev_v
-            e_total += dev_e
-            secs.append(dev_sec)
-            regions.append(dev_regions)
-            statuses.append(dev_status)
-            total_regions += dev_regions
-            if dev_status is not Status.CONVERGED_REL:
-                worst = dev_status
+                    statuses[d] = res.status
+                    worst = res.status
+            if not failed:
+                break
+
+            # Worst partitions first: the redistribution capacity is a
+            # bounded rescue, not an unbounded time-for-memory trade, so
+            # spend it where the committed error would be largest.
+            failed.sort(key=lambda t: t[3].errorest, reverse=True)
+            self.redistribution_log.append(
+                {
+                    "round": depth,
+                    "n_failed": len(failed),
+                    "failed_errorests": [t[3].errorest for t in failed],
+                    "failed_shares": [t[2] for t in failed],
+                    "piece_budget_left": piece_budget,
+                }
+            )
+            splittable: List[tuple] = []
+            for item in failed:
+                if piece_budget >= pieces_per_bisection:
+                    piece_budget -= pieces_per_bisection
+                    splittable.append(item)
+                else:
+                    d, _cell, _share, res = item
+                    v_total += res.estimate
+                    e_total += res.errorest
+                    statuses[d] = res.status
+                    worst = res.status
+            if not splittable:
+                break
+
+            # Bisect every failed partition along its widest axes, score
+            # the pieces with one rule evaluation (same scoring as the
+            # seeding pass), and apportion the parent's error share among
+            # them with the same half-proportional / half-uniform split
+            # as the top level.  No extra τ_abs floor here: the parent's
+            # share already contains its floor, and re-flooring every
+            # piece would inflate the aggregate absolute allowance.
+            pieces: List[tuple] = []
+            piece_scores: List[float] = []
+            for _, cell, share, _res in splittable:
+                sub_c, sub_h = self._bisect(cell)
+                sub_ev = evaluate_regions(rule, sub_c, sub_h, integrand)
+                neval += sub_ev.neval
+                sub_scores = sub_ev.error + 1e-300 * np.max(
+                    np.abs(sub_ev.error)
+                )
+                sub_shares = self._apportion(share, sub_scores, 0.0)
+                for j in range(sub_c.shape[0]):
+                    pieces.append(
+                        (
+                            cell_bounds(sub_c[j], sub_h[j]),
+                            float(sub_shares[j]),
+                        )
+                    )
+                    piece_scores.append(float(sub_scores[j]))
+
+            # Re-pack the pieces across the whole fleet, continuing the
+            # greedy largest-first packing on the accumulated score loads.
+            order = np.argsort(np.asarray(piece_scores))[::-1]
+            work = []
+            for k in order:
+                d = int(np.argmin(loads))
+                loads[d] += piece_scores[k]
+                work.append((d, pieces[k][0], pieces[k][1]))
 
         self.last_report = MultiGpuReport(
             per_device_seconds=secs,

@@ -22,12 +22,12 @@ Returned per region:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.backends import BackendSpec, get_backend
-from repro.cubature.rules import FOURTH_DIFF_RATIO, GenzMalikRule
+from repro.cubature.rules import FOURTH_DIFF_RATIO, RULE_CACHE, GenzMalikRule
 
 #: cap on floats materialised per chunk (regions * points * ndim)
 _CHUNK_BUDGET = 16_000_000
@@ -110,7 +110,8 @@ def evaluate_regions(
     out_error: Optional[np.ndarray] = None,
     out_axis: Optional[np.ndarray] = None,
     backend: BackendSpec = None,
-) -> EvaluationResult:
+    defer: bool = False,
+) -> EvaluationResult | Tuple[EvaluationResult, List[Callable[[], None]]]:
     """Evaluate a batch of axis-aligned regions with the Genz–Malik rule set.
 
     Parameters
@@ -129,7 +130,17 @@ def evaluate_regions(
         Execution backend spec (``None`` = reference NumPy).  The chunk
         decomposition is backend-independent, and each chunk's arithmetic
         is identical across host backends, so results do not depend on
-        the backend's schedule.
+        the backend's schedule.  (The *size* of the chunks can shift
+        results at ULP level through BLAS kernel selection, so callers
+        that promise bit-identical output must keep ``chunk_budget``
+        fixed.)
+    defer:
+        When True, do **not** execute the sweep: return
+        ``(result, tasks)`` where ``tasks`` is the list of chunk thunks
+        and ``result``'s arrays are pre-allocated but unwritten.  The
+        caller must run every thunk (in any order, on any schedule)
+        before reading the result — this is the hook the batch scheduler
+        uses to fuse many runs' sweeps into one backend submission.
 
     Notes
     -----
@@ -156,16 +167,20 @@ def evaluate_regions(
 
     need_companions = error_model in ("four_difference", "cascade")
     chunk = max(1, int(chunk_budget // (p * n)))
-    pts_ref = bk.asarray(rule.points)  # (p, n)
-    w7 = bk.asarray(rule.w7)
-    w5 = bk.asarray(rule.w5)
-    w3a = bk.asarray(rule.w3a)
-    w3b = bk.asarray(rule.w3b)
-    w1 = bk.asarray(rule.w1)
-    idx2p = bk.asarray(rule.idx2_plus)
-    idx2m = bk.asarray(rule.idx2_minus)
-    idx3p = bk.asarray(rule.idx3_plus)
-    idx3m = bk.asarray(rule.idx3_minus)
+    # Backend-resident rule tensors, built once per (backend, ndim) pair
+    # and shared process-wide (see RuleCache): accelerator backends upload
+    # the point set and weights a single time instead of per sweep.
+    dr = RULE_CACHE.device_rule(rule, bk)
+    pts_ref = dr.points  # (p, n)
+    w7 = dr.w7
+    w5 = dr.w5
+    w3a = dr.w3a
+    w3b = dr.w3b
+    w1 = dr.w1
+    idx2p = dr.idx2_plus
+    idx2m = dr.idx2_minus
+    idx3p = dr.idx3_plus
+    idx3m = dr.idx3_minus
 
     def chunk_task(lo: int, hi: int):
         def work() -> None:
@@ -201,10 +216,11 @@ def evaluate_regions(
 
         return work
 
-    bk.run_chunks(
-        [chunk_task(lo, min(lo + chunk, m)) for lo in range(0, m, chunk)]
-    )
-
-    return EvaluationResult(
+    tasks = [chunk_task(lo, min(lo + chunk, m)) for lo in range(0, m, chunk)]
+    result = EvaluationResult(
         estimate=estimate, error=error, split_axis=axis, neval=m * p
     )
+    if defer:
+        return result, tasks
+    bk.run_chunks(tasks)
+    return result

@@ -20,9 +20,11 @@ Point count: ``1 + 4n + 2n(n−1) + 2^n``.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
 
@@ -146,6 +148,91 @@ def get_rule(ndim: int) -> GenzMalikRule:
         },
     )
     return rule
+
+
+@dataclass(frozen=True)
+class DeviceRule:
+    """A :class:`GenzMalikRule`'s tensors resident on one backend.
+
+    The hot path only ever reads these ten arrays; materialising them once
+    per ``(backend, ndim)`` pair means a real accelerator backend uploads
+    the point set and weight vectors a single time per process instead of
+    once per ``evaluate`` sweep (host backends pay nothing either way —
+    ``asarray`` is a no-copy view for NumPy arrays).
+    """
+
+    ndim: int
+    points: Any
+    w7: Any
+    w5: Any
+    w3a: Any
+    w3b: Any
+    w1: Any
+    idx2_plus: Any
+    idx2_minus: Any
+    idx3_plus: Any
+    idx3_minus: Any
+
+
+class RuleCache:
+    """Process-wide cache of backend-resident rule tensors.
+
+    Two caching layers exist for the Genz–Malik rules: :func:`get_rule`
+    memoises the *host-side* construction (orbit generation and the moment
+    solves) per dimensionality, and this cache memoises the *backend-side*
+    tensors per ``(backend, ndim)`` pair.  Before the batched execution
+    layer, every ``evaluate`` sweep re-coerced the ten rule arrays onto
+    its backend; with many integrals in flight that rebuild multiplies, so
+    the cache is keyed weakly by backend instance (a garbage-collected
+    backend drops its tensors) and shared by every run in the process.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._per_backend: (
+            "weakref.WeakKeyDictionary[Any, Dict[int, DeviceRule]]"
+        ) = weakref.WeakKeyDictionary()
+
+    def device_rule(self, rule: GenzMalikRule, backend: Any) -> DeviceRule:
+        """The backend-resident tensors for ``rule`` (built on first use)."""
+        with self._lock:
+            per = self._per_backend.get(backend)
+            if per is None:
+                per = {}
+                self._per_backend[backend] = per
+            dr = per.get(rule.ndim)
+            if dr is None:
+                dr = DeviceRule(
+                    ndim=rule.ndim,
+                    points=backend.asarray(rule.points),
+                    w7=backend.asarray(rule.w7),
+                    w5=backend.asarray(rule.w5),
+                    w3a=backend.asarray(rule.w3a),
+                    w3b=backend.asarray(rule.w3b),
+                    w1=backend.asarray(rule.w1),
+                    idx2_plus=backend.asarray(rule.idx2_plus),
+                    idx2_minus=backend.asarray(rule.idx2_minus),
+                    idx3_plus=backend.asarray(rule.idx3_plus),
+                    idx3_minus=backend.asarray(rule.idx3_minus),
+                )
+                per[rule.ndim] = dr
+            return dr
+
+    def stats(self) -> Dict[str, int]:
+        """Cache occupancy: live backends and resident rule sets."""
+        with self._lock:
+            return {
+                "backends": len(self._per_backend),
+                "rules": sum(len(v) for v in self._per_backend.values()),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._per_backend = weakref.WeakKeyDictionary()
+
+
+#: the process-wide instance shared by every evaluate sweep
+RULE_CACHE = RuleCache()
 
 
 def published_degree7_orbit_weights(ndim: int) -> np.ndarray:

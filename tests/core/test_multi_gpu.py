@@ -103,9 +103,13 @@ def test_fleet_memory_extends_attainable_precision():
 def test_nonconverged_partition_flags_result():
     g = gaussian_nd(4, c=900.0)
     spec = DeviceSpec.scaled(mem_mb=2, name="micro")
+    # Redistribution off: this test exercises flag propagation from a
+    # hopeless partition, not the §4.4 rescue path (covered by the fleet
+    # test), and a 2 MB device at 1e-9 would churn through the whole
+    # redistribution budget before flagging.
     res = MultiGpuPagani(
         n_devices=2, config=PaganiConfig(rel_tol=1e-9, max_iterations=25),
-        device_spec=spec,
+        device_spec=spec, redistribution_rounds=0,
     ).integrate(g, 4)
     assert not res.converged
     assert res.status in (Status.MEMORY_EXHAUSTED, Status.MAX_ITERATIONS,

@@ -1,0 +1,136 @@
+"""Property-based invariants of the RegionStore structural kernels.
+
+The filter and split kernels are the only operations that change the
+region population, so the whole algorithm's conservation story rests on
+two invariants Hypothesis checks here over random populations:
+
+* ``filter`` keeps exactly the flagged rows, in order — no region is lost
+  or duplicated, across every parallel array at once;
+* ``split`` doubles the population and conserves measure exactly: the two
+  children tile their parent (volumes sum bit-exactly, geometry stays
+  inside the parent box, only the chosen axis halves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import RegionStore
+
+
+@st.composite
+def region_populations(draw):
+    ndim = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-10.0, 10.0, size=(m, ndim))
+    halfwidths = rng.uniform(1e-6, 3.0, size=(m, ndim))
+    split_axis = rng.integers(0, ndim, size=m)
+    estimate = rng.normal(size=m)
+    error = np.abs(rng.normal(size=m))
+    return ndim, centers, halfwidths, split_axis, estimate, error
+
+
+def _make_store(pop) -> RegionStore:
+    ndim, centers, halfwidths, split_axis, estimate, error = pop
+    return RegionStore(
+        ndim=ndim,
+        centers=centers.copy(),
+        halfwidths=halfwidths.copy(),
+        estimate=estimate.copy(),
+        error=error.copy(),
+        split_axis=split_axis.astype(np.int64),
+        parent_estimate=None,
+    )
+
+
+@given(pop=region_populations(), mask_seed=st.integers(0, 2**31 - 1))
+def test_filter_keeps_exactly_the_flagged_rows(pop, mask_seed):
+    store = _make_store(pop)
+    m = store.size
+    active = np.random.default_rng(mask_seed).integers(0, 2, size=m).astype(bool)
+    before = {
+        "centers": store.centers.copy(),
+        "halfwidths": store.halfwidths.copy(),
+        "estimate": store.estimate.copy(),
+        "error": store.error.copy(),
+        "split_axis": store.split_axis.copy(),
+    }
+    survivors = store.filter(active)
+    assert survivors == store.size == int(active.sum())
+    for name in before:
+        np.testing.assert_array_equal(
+            getattr(store, name), before[name][active],
+            err_msg=f"{name} rows lost/duplicated/reordered by filter",
+        )
+
+
+@given(pop=region_populations())
+def test_split_conserves_volume_exactly(pop):
+    store = _make_store(pop)
+    m = store.size
+    parent_centers = store.centers.copy()
+    parent_half = store.halfwidths.copy()
+    parent_vol = store.volumes()
+    parent_estimate = store.estimate.copy()
+    axes = store.split_axis.copy()
+
+    store.split()
+
+    assert store.size == 2 * m
+    child_vol = store.volumes()
+    # Halving one factor multiplies the product by an exact 0.5, so each
+    # child's volume is bit-exactly half its parent's — no tolerance.
+    np.testing.assert_array_equal(child_vol[0::2], 0.5 * parent_vol)
+    np.testing.assert_array_equal(child_vol[1::2], 0.5 * parent_vol)
+
+    # Only the chosen axis halves; the others are inherited untouched.
+    for k in range(m):
+        ax = axes[k]
+        for child in (2 * k, 2 * k + 1):
+            assert store.halfwidths[child, ax] == 0.5 * parent_half[k, ax]
+            keep = np.arange(store.ndim) != ax
+            np.testing.assert_array_equal(
+                store.halfwidths[child, keep], parent_half[k, keep]
+            )
+    # Children tile the parent: centers offset by ±h/2 along the split
+    # axis, and every child box stays inside its parent box.
+    lo = parent_centers - parent_half
+    hi = parent_centers + parent_half
+    for k in range(m):
+        for child in (2 * k, 2 * k + 1):
+            c_lo = store.centers[child] - store.halfwidths[child]
+            c_hi = store.centers[child] + store.halfwidths[child]
+            assert np.all(c_lo >= lo[k] - 1e-12 * np.abs(lo[k]) - 1e-300)
+            assert np.all(c_hi <= hi[k] + 1e-12 * np.abs(hi[k]) + 1e-300)
+    # The two children of one parent are disjoint along the split axis.
+    left = store.centers[0::2, :][np.arange(m), axes]
+    right = store.centers[1::2, :][np.arange(m), axes]
+    assert np.all(left < right)
+
+    # Parent estimates propagate pairwise for the two-level error step.
+    np.testing.assert_array_equal(store.parent_estimate[0::2], parent_estimate)
+    np.testing.assert_array_equal(store.parent_estimate[1::2], parent_estimate)
+
+
+@given(pop=region_populations(), mask_seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15)
+def test_filter_then_split_round_trip(pop, mask_seed):
+    """The per-iteration composition: compaction then doubling."""
+    store = _make_store(pop)
+    m = store.size
+    active = np.random.default_rng(mask_seed).integers(0, 2, size=m).astype(bool)
+    surviving_vol = store.volumes()[active]
+    store.filter(active)
+    if store.size == 0:
+        return
+    store.split()
+    assert store.size == 2 * int(active.sum())
+    # Total measure of the split population equals the surviving measure.
+    assert np.sum(store.volumes()) == pytest.approx(
+        np.sum(surviving_vol), rel=1e-12
+    )

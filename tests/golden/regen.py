@@ -1,0 +1,102 @@
+"""Regenerate the golden-value file for the Genz family on numpy.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+The file pins bit-exact estimates/errors/iteration counts for the whole
+Genz suite on the reference backend.  Regenerate it **only** when a change
+intentionally alters the numerics (new error model default, rule fix, …)
+and say why in the commit message; for pure refactors, optimisations and
+scheduling changes the suite must reproduce these bits exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).parent / "genz_numpy_golden.json"
+
+#: the pinned workload: every Genz family at several dimensionalities
+DIMS = (2, 3, 5)
+SEED = 0
+REL_TOL = 1e-4
+
+
+def blas_fingerprint() -> str:
+    """Hex digest of a deterministic matvec probing BLAS kernel dispatch.
+
+    Two environments that produce identical bits here use the same
+    reduction orders on the shapes the hot path cares about, so the
+    golden hex comparison is safe; version/machine strings alone cannot
+    distinguish CPU microarchitectures that dispatch different kernels.
+    """
+    a = (np.arange(1, 777 * 33 + 1, dtype=np.float64) / 7.0).reshape(777, 33)
+    w = np.arange(1, 34, dtype=np.float64) / 3.0
+    v = a @ w
+    b = (np.arange(1, 12 * 8 + 1, dtype=np.float64) / 11.0).reshape(12, 8)
+    return (float(np.sum(v)).hex() + ":" + float((b @ b.T).sum()).hex())
+
+
+def golden_cases():
+    from repro.integrands.genz import GenzFamily, make_genz
+
+    for family in GenzFamily:
+        for ndim in DIMS:
+            yield family.value, ndim, make_genz(family, ndim, seed=SEED)
+
+
+def compute_rows() -> list:
+    from repro.api import integrate
+
+    rows = []
+    for family, ndim, f in golden_cases():
+        res = integrate(f, ndim, rel_tol=REL_TOL, backend="numpy")
+        rows.append(
+            {
+                "family": family,
+                "ndim": ndim,
+                "seed": SEED,
+                "rel_tol": REL_TOL,
+                # float.hex() round-trips exactly; the test compares hex
+                # strings so a 1-ULP drift is a failure, not a rounding
+                # artifact of decimal repr.
+                "estimate_hex": float(res.estimate).hex(),
+                "errorest_hex": float(res.errorest).hex(),
+                "estimate": res.estimate,
+                "errorest": res.errorest,
+                "iterations": res.iterations,
+                "neval": res.neval,
+                "nregions": res.nregions,
+                "status": res.status.value,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    payload = {
+        "schema": 1,
+        "description": "bit-exact Genz-family results on the numpy backend",
+        # The bit-exact hex comparison is gated on this fingerprint: a
+        # different numpy build or CPU family may legally move results by
+        # an ULP through BLAS kernel dispatch, so foreign environments
+        # fall back to a tight approximate check (see test_golden.py).
+        "generated_with": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "blas_probe": blas_fingerprint(),
+        },
+        "rows": compute_rows(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(payload['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    main()

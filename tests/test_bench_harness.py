@@ -133,3 +133,33 @@ def test_backend_bench_skips_unavailable_backends():
     data = hz.run_backend_bench(backends=["cupy"], smoke=True)
     # on a CUDA host this runs; everywhere else it must skip, not crash
     assert "cupy" in data["backends"] or "cupy" in data["skipped_backends"]
+
+
+def test_batch_bench_smoke_roundtrip(tmp_path):
+    data = hz.run_batch_bench(backends=["numpy", "threaded"], smoke=True)
+    assert data["mode"] == "smoke"
+    assert set(data["backends"]) == {"numpy", "threaded"}
+    assert data["n_members"] == len(hz.batch_bench_members(smoke=True))
+    for spec, d in data["backends"].items():
+        assert d["sequential_seconds"] > 0 and d["batched_seconds"] > 0
+        assert d["rounds"] >= 1
+        assert len(d["members"]) == data["n_members"]
+        for r in d["members"]:
+            assert r["matches_sequential"], (spec, r)
+            assert r["converged"]
+
+    path = hz.write_batch_bench(data, out=tmp_path / "BENCH_batch.json")
+    import json
+
+    loaded = json.loads(path.read_text())
+    assert loaded["backends"]["numpy"]["speedup"] == pytest.approx(
+        data["backends"]["numpy"]["speedup"]
+    )
+
+
+def test_batch_bench_members_cover_all_families():
+    names = {f.name for f in hz.batch_bench_members(smoke=False)}
+    for family in ("oscillatory", "product_peak", "corner_peak", "gaussian",
+                   "c0", "discontinuous"):
+        assert any(family in n for n in names), family
+    assert len(names) == 24

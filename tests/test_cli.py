@@ -45,6 +45,33 @@ def test_run_command_failure_exit_code(capsys):
     assert rc == 1
 
 
+def test_batch_command(capsys):
+    rc = main(
+        ["batch", "--integrands", "3D-f3,3D-f4,2D-genz-gaussian",
+         "--rel-tol", "1e-3"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    for name in ("3D f3", "3D f4", "genz-gaussian"):
+        assert name in out
+    assert "3/3 converged" in out
+    assert "rounds" in out and "fused chunks" in out
+
+
+def test_batch_command_rejects_bad_spec(capsys):
+    assert main(["batch", "--integrands", "bogus"]) == 2
+    assert main(["batch", "--integrands", ","]) == 2
+
+
+def test_batch_command_threaded_backend(capsys):
+    rc = main(
+        ["batch", "--integrands", "2D-genz-gaussian,3D-genz-product_peak",
+         "--rel-tol", "1e-3", "--backend", "threaded"]
+    )
+    assert rc == 0
+    assert "backend 'threaded'" in capsys.readouterr().out
+
+
 def test_compare_command(capsys):
     rc = main(
         ["compare", "--integrand", "3D-f3", "--rel-tol", "1e-3",

@@ -9,7 +9,7 @@ dimensionality the paper evaluates.
 import numpy as np
 import pytest
 
-from repro.core import PaganiConfig, PaganiIntegrator
+from repro.core import PaganiConfig, PaganiIntegrator, Status
 from repro.gpu.device import DeviceSpec, VirtualDevice
 from repro.integrands.paper import paper_suite
 
@@ -22,6 +22,19 @@ SUITE = {f.name: f for f in paper_suite()}
 #: f6's cuts align with tenths (see integrands/paper.py); everything else
 #: uses the default initial split.
 SPLITS = {"6D f6": 10}
+
+#: Members that cannot converge at laptop scale and must instead fail
+#: *honestly*.  8D f1 oscillates in sign, so §3.5.1 requires relative-error
+#: filtering off; with no regions filtered the list doubles every
+#: iteration, and §3.5.2's threshold classification cannot commit enough —
+#: the integral's tiny magnitude (|I| ≈ 3.44e-5 against O(1) total
+#: variation) leaves τ_rel·|V| commit allowances near zero.  The paper runs
+#: this member on a 16 GiB V100 (§4.2); on the 192 MB memory-scaled device
+#: the run must end flagged MEMORY_EXHAUSTED ("a flag pertaining to not
+#: achieving the user's accuracy requirements", §3.5.2) rather than
+#: pretend convergence.  The benchmark harness documents the same member
+#: as the double-DNF of the Fig. 7 comparison.
+EXPECT_MEMORY_EXHAUSTED = {"8D f1"}
 
 
 @pytest.mark.parametrize("name", sorted(SUITE))
@@ -36,8 +49,16 @@ def test_pagani_coarse_pass(name):
     dev = VirtualDevice(DeviceSpec.scaled(mem_mb=192))
     res = PaganiIntegrator(cfg, device=dev).integrate(f, f.ndim)
     true_rel = abs(res.estimate - f.reference) / abs(f.reference)
-    assert res.converged, f"{name}: {res.status.value}"
-    assert true_rel <= 5e-2, f"{name}: true rel err {true_rel:.2e}"
+    if name in EXPECT_MEMORY_EXHAUSTED:
+        # Honest failure: flagged, error estimate not underselling the
+        # distance to the tolerance, estimate still in the right ballpark.
+        assert res.status is Status.MEMORY_EXHAUSTED, res.status.value
+        assert not res.converged
+        assert res.errorest > cfg.rel_tol * abs(res.estimate)
+        assert true_rel <= 5e-2, f"{name}: true rel err {true_rel:.2e}"
+    else:
+        assert res.converged, f"{name}: {res.status.value}"
+        assert true_rel <= 5e-2, f"{name}: true rel err {true_rel:.2e}"
     # device invariants hold across the whole suite
     assert dev.memory.in_use == 0
     assert res.neval > 0 and res.nregions == sum(r.n_regions for r in res.trace)
