@@ -14,7 +14,6 @@ Paper's observations reproduced here:
 Writes ``results/fig4_accuracy.csv``.
 """
 
-import math
 
 import harness as hz
 

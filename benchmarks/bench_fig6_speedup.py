@@ -8,7 +8,6 @@ PAGANI satisfies.  Here a "square" prints as ``only-PAGANI``.
 Writes ``results/fig6_speedup.csv``.
 """
 
-import csv
 
 import harness as hz
 

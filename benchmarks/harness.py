@@ -31,9 +31,9 @@ from __future__ import annotations
 import csv
 import math
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -764,6 +764,268 @@ def print_batch_bench(data: dict) -> None:
     )
 
 
+# ---------------------------------------------------------------------------
+# Service benchmark (BENCH_service.json)
+#
+# The integration service (repro.service) claims three things worth
+# regression-gating: (1) a duplicate-heavy job mix is served ~K× faster
+# with the result cache on (K = duplicate factor) because hits replay the
+# cached IntegrationResult instead of recomputing; (2) those replays are
+# bit-identical to cold fresh runs on the numpy backend; (3) under
+# contention, completion order follows job priority (the weighted
+# rotation).  This benchmark measures all three on the fig5/fig6 paper
+# workloads (6D f6 is excluded: without the aligned initial split it is a
+# documented memory-exhaustion case, not a serving workload).
+# ---------------------------------------------------------------------------
+SERVICE_BENCH_FILE = "BENCH_service.json"
+
+#: duplicate factor of the job mix — every unique job appears this many
+#: times, so a perfect cache turns K runs into 1 run + (K-1) replays.
+SERVICE_DUPLICATE_FACTOR = 8
+SERVICE_SMOKE_DUPLICATE_FACTOR = 3
+SERVICE_MAX_CONCURRENT = 4
+
+
+def service_bench_jobs(smoke: bool = False) -> List[dict]:
+    """The unique jobs of the duplicate-heavy mix (jobs-file shape)."""
+    if smoke:
+        combos = [("3D-f4", 3, 2), ("3D-f3", 3, 1)]
+    else:
+        combos = [
+            ("5D-f4", 3, 3),
+            ("5D-f4", 4, 2),
+            ("5D-f5", 3, 3),
+            ("5D-f5", 4, 1),
+            ("8D-f7", 3, 2),
+        ]
+    return [
+        {
+            "integrand": spec,
+            "rel_tol": 10.0 ** -digits,
+            "priority": priority,
+            "label": f"{spec} d{digits}",
+            "max_iterations": 35,
+        }
+        for spec, digits, priority in combos
+    ]
+
+
+def _run_service_mix(jobs: List[dict], cache: bool, waves: int = 1) -> tuple:
+    """Run the mix through a fresh service ``waves`` times.
+
+    Returns ``(per_wave_handles, per_wave_walls, stats)``.  Wave 1 on a
+    cache-enabled service exercises misses + in-flight coalescing; later
+    waves are pure warm-cache replays.
+    """
+    import time as _time
+
+    from repro.api import serve_jobs
+    from repro.service import IntegrationService
+
+    service = IntegrationService(
+        max_concurrent=SERVICE_MAX_CONCURRENT, backend="numpy", cache=cache
+    )
+    per_wave_handles, per_wave_walls = [], []
+    try:
+        for _ in range(waves):
+            t0 = _time.perf_counter()
+            per_wave_handles.append(serve_jobs(jobs, service=service))
+            per_wave_walls.append(_time.perf_counter() - t0)
+        stats = service.stats()
+    finally:
+        service.shutdown(wait=True)
+    return per_wave_handles, per_wave_walls, stats
+
+
+def run_service_bench(smoke: bool = False) -> dict:
+    """Measure cache-hit speedup, bit-identity and priority order."""
+    import platform
+    import time as _time
+
+    from repro.api import integrate
+    from repro.integrands.catalog import named_integrand
+    from repro.service import IntegrationService
+
+    unique = service_bench_jobs(smoke=smoke)
+    k = SERVICE_SMOKE_DUPLICATE_FACTOR if smoke else SERVICE_DUPLICATE_FACTOR
+    # Interleave the copies (A B C A B C ...) so duplicates arrive while
+    # their twin may still be in flight — exercising both cache hits and
+    # in-flight coalescing, like real duplicate traffic would.
+    mix = [dict(job) for _ in range(k) for job in unique]
+
+    # Cold reference runs: plain integrate() calls, the bit-identity anchor.
+    references = {}
+    for job in unique:
+        f = named_integrand(job["integrand"])
+        references[job["label"]] = integrate(
+            f, f.ndim, rel_tol=job["rel_tol"],
+            max_iterations=job["max_iterations"],
+        )
+
+    (nocache_handles,), (nocache_wall,), nocache_stats = _run_service_mix(
+        mix, cache=False
+    )
+    cached_waves, cached_walls, cached_stats = _run_service_mix(
+        mix, cache=True, waves=2
+    )
+    cached_handles, replay_handles = cached_waves
+    cached_wall, replay_wall = cached_walls
+
+    def mismatches_vs_reference(handles) -> List[str]:
+        bad = []
+        for h in handles:
+            ref = references[h.spec.label]
+            res = h.result(timeout=0)
+            if not (
+                res.estimate == ref.estimate
+                and res.errorest == ref.errorest
+                and res.iterations == ref.iterations
+                and res.neval == ref.neval
+            ):
+                bad.append(h.spec.label)
+        return sorted(set(bad))
+
+    cache_info = cached_stats["cache"]
+    served_without_run = cache_info["hits"] + cached_stats["coalesced"]
+    payload_runs = {
+        "no_cache": {
+            "wall_seconds": nocache_wall,
+            "jobs_per_second": len(mix) / nocache_wall,
+            "rounds": nocache_stats["rounds"],
+        },
+        # Wave 1: duplicates arrive while their twin is in flight —
+        # served by misses + coalescing.  Wave 2 resubmits the whole mix
+        # against the warm cache — every job is a pure LRU replay.
+        "with_cache": {
+            "wall_seconds": cached_wall,
+            "jobs_per_second": len(mix) / cached_wall,
+            "rounds": cached_stats["rounds"],
+            "cache": cache_info,
+            "coalesced": cached_stats["coalesced"],
+            "served_without_recompute": served_without_run,
+        },
+        "warm_replay": {
+            "wall_seconds": replay_wall,
+            "jobs_per_second": len(mix) / replay_wall,
+            "all_cache_hits": all(h.cache_hit for h in replay_handles),
+        },
+    }
+
+    # Priority-order evidence: equal-work jobs, all live at once — the
+    # weighted rotation must complete them in priority order.
+    prio_spec, prio_digits = ("3D-f4", 3) if smoke else ("5D-f4", 4)
+    priorities = [1, 2, 4, 8]
+    service = IntegrationService(
+        max_concurrent=len(priorities), backend="numpy", cache=False
+    )
+    try:
+        prio_handles = {
+            p: service.submit(
+                prio_spec, rel_tol=10.0 ** -prio_digits, priority=p,
+                max_iterations=35, label=f"prio{p}",
+            )
+            for p in priorities
+        }
+        service.wait_all()
+    finally:
+        service.shutdown(wait=True)
+    completion_order = [
+        p for p, h in sorted(
+            prio_handles.items(), key=lambda kv: kv[1].stats.completion_index
+        )
+    ]
+
+    return {
+        "schema": 2,
+        "suite": "pagani-service-bench",
+        "mode": "smoke" if smoke else ("full" if full_mode() else "quick"),
+        "generated_by": "PYTHONPATH=src python benchmarks/harness.py --service",
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "backend": "numpy",
+        "max_concurrent": SERVICE_MAX_CONCURRENT,
+        "duplicate_factor": k,
+        "unique_jobs": unique,
+        "n_jobs": len(mix),
+        "runs": payload_runs,
+        "cache_speedup": nocache_wall / cached_wall if cached_wall > 0 else float("inf"),
+        "warm_replay_speedup": (
+            nocache_wall / replay_wall if replay_wall > 0 else float("inf")
+        ),
+        "bit_identity": {
+            "no_cache_mismatches": mismatches_vs_reference(nocache_handles),
+            "with_cache_mismatches": mismatches_vs_reference(cached_handles),
+            "warm_replay_mismatches": mismatches_vs_reference(replay_handles),
+        },
+        "priority_order": {
+            "job": f"{prio_spec} d{prio_digits}",
+            "priorities_submitted": priorities,
+            "completion_order": completion_order,
+            "in_priority_order": completion_order
+            == sorted(priorities, reverse=True),
+        },
+    }
+
+
+def write_service_bench(data: dict, out: Optional[Path] = None) -> Path:
+    """Write the service-benchmark payload as pretty JSON; return the path."""
+    return _write_bench_json(data, out, SERVICE_BENCH_FILE)
+
+
+def print_service_bench(data: dict) -> None:
+    runs = data["runs"]
+    body = [
+        [
+            "no_cache",
+            f"{runs['no_cache']['wall_seconds']:.2f}s",
+            f"{runs['no_cache']['jobs_per_second']:.2f}",
+            "-", "-",
+        ],
+        [
+            "with_cache",
+            f"{runs['with_cache']['wall_seconds']:.2f}s",
+            f"{runs['with_cache']['jobs_per_second']:.2f}",
+            f"{runs['with_cache']['cache']['hits']}"
+            f"+{runs['with_cache']['coalesced']}c",
+            f"{data['cache_speedup']:.2f}x",
+        ],
+        [
+            "warm_replay",
+            f"{runs['warm_replay']['wall_seconds']:.2f}s",
+            f"{runs['warm_replay']['jobs_per_second']:.2f}",
+            "all",
+            f"{data['warm_replay_speedup']:.0f}x",
+        ],
+    ]
+    print_table(
+        f"Service benchmark ({data['mode']}, {data['n_jobs']} jobs = "
+        f"{len(data['unique_jobs'])} unique x{data['duplicate_factor']}, "
+        f"max_concurrent={data['max_concurrent']})",
+        ["pass", "wall", "jobs/s", "hits", "speedup"],
+        body,
+    )
+    prio = data["priority_order"]
+    print(
+        f"priority completion order: {prio['completion_order']} "
+        f"({'OK' if prio['in_priority_order'] else 'OUT OF ORDER'})"
+    )
+    bad = sorted(
+        set(
+            data["bit_identity"]["no_cache_mismatches"]
+            + data["bit_identity"]["with_cache_mismatches"]
+            + data["bit_identity"]["warm_replay_mismatches"]
+        )
+    )
+    print(
+        "bit-identity vs cold integrate(): "
+        + ("OK" if not bad else f"MISMATCH {bad}")
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry: run the backend benchmark and write BENCH_backends.json."""
     import argparse
@@ -775,7 +1037,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Run the fig5/fig6 PAGANI workloads per execution "
         "backend and write the BENCH_backends.json perf baseline, or (with "
         "--batch) the batched-vs-sequential throughput benchmark writing "
-        "BENCH_batch.json."
+        "BENCH_batch.json, or (with --service) the integration-service "
+        "benchmark writing BENCH_service.json."
     )
     ap.add_argument(
         "--backends", default=None,
@@ -791,13 +1054,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"(writes results/{BATCH_BENCH_FILE})",
     )
     ap.add_argument(
+        "--service", action="store_true",
+        help="run the integration-service benchmark instead: cache-hit "
+        "speedup on a duplicate-heavy mix, bit-identity vs cold runs, "
+        f"priority-order evidence (writes results/{SERVICE_BENCH_FILE})",
+    )
+    ap.add_argument(
         "--out", default=None,
         help="output path (default: results/"
-        f"{BACKEND_BENCH_FILE} or results/{BATCH_BENCH_FILE})",
+        f"{BACKEND_BENCH_FILE}, {BATCH_BENCH_FILE} or {SERVICE_BENCH_FILE})",
     )
     args = ap.parse_args(argv)
 
+    if args.batch and args.service:
+        print("error: pick one of --batch / --service", file=sys.stderr)
+        return 2
     backends = args.backends.split(",") if args.backends else None
+    if args.service:
+        data = run_service_bench(smoke=args.smoke)
+        path = write_service_bench(data, out=args.out)
+        print_service_bench(data)
+        print(f"\nwrote {path}")
+        problems = []
+        bad_bits = (
+            data["bit_identity"]["no_cache_mismatches"]
+            + data["bit_identity"]["with_cache_mismatches"]
+            + data["bit_identity"]["warm_replay_mismatches"]
+        )
+        if bad_bits:
+            problems.append(f"results disagree with cold runs: {sorted(set(bad_bits))}")
+        if not data["priority_order"]["in_priority_order"]:
+            problems.append(
+                "completion order "
+                f"{data['priority_order']['completion_order']} is not "
+                "priority order"
+            )
+        for problem in problems:
+            print(f"WARNING: {problem}")
+        return 1 if problems else 0
     if args.batch:
         def run():
             return run_batch_bench(backends=backends, smoke=args.smoke)

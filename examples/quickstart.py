@@ -90,6 +90,36 @@ def main() -> None:
         f"fused chunks, peak {stats.peak_live} live members"
     )
 
+    # A *stream* of requests goes through the service layer: a priority
+    # queue feeds up to max_concurrent jobs into a weighted rotation
+    # (higher priority => served more iterations per round), and a
+    # content-addressed LRU cache replays repeated requests bit-for-bit
+    # instead of recomputing them (see docs/service.md).
+    from repro.service import IntegrationService
+
+    print("\n== Service mode: priorities + result cache ==")
+    with IntegrationService(max_concurrent=4) as svc:
+        urgent = svc.submit("4D-genz-gaussian", rel_tol=1e-6, priority=4)
+        background = svc.submit("3D-f4", rel_tol=1e-5, priority=1)
+        repeat = svc.submit("4D-genz-gaussian", rel_tol=1e-6)  # duplicate
+        for label, handle in (
+            ("urgent (prio 4)", urgent),
+            ("background    ", background),
+            ("repeat        ", repeat),
+        ):
+            res = handle.result()
+            hit = "cache hit" if handle.cache_hit else "computed "
+            print(
+                f"  {label}: estimate={res.estimate:.10f}  {hit}  "
+                f"finished #{handle.stats.completion_index}"
+            )
+        cache = svc.stats()["cache"]
+        print(
+            f"  service: {svc.stats()['rounds']} rotation rounds, "
+            f"{cache['hits']} cache hits, "
+            f"{svc.stats()['coalesced']} coalesced"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -12,6 +12,18 @@ interleaves their PAGANI iterations over one shared backend::
     from repro import integrate_many
     results = integrate_many([f, g, h], rel_tol=1e-6, backend="threaded")
 
+A *stream* of requests — with priorities, cancellation and a result
+cache — goes through the service layer (:mod:`repro.service`); the
+one-shot convenience for a fixed job list is :func:`serve_jobs`::
+
+    from repro import serve_jobs
+    from repro.service import JobSpec
+    handles = serve_jobs([
+        JobSpec("5D-f4", rel_tol=1e-4, priority=3),
+        JobSpec("8D-f7", rel_tol=1e-3),
+    ])
+    results = [h.result() for h in handles]
+
 Method-specific configuration objects remain available for full control
 (:class:`~repro.core.PaganiConfig` etc.); keyword arguments here cover the
 common knobs.
@@ -289,12 +301,7 @@ def integrate_many(
     member_bounds = _resolve_member_bounds(bounds, ndims)
 
     bk = get_backend(backend)
-    if chunk_budget is not None:
-        budget = int(chunk_budget)
-    elif bk.preferred_batch_chunk_budget is not None:
-        budget = bk.preferred_batch_chunk_budget
-    else:
-        budget = PaganiConfig.chunk_budget
+    budget = PaganiConfig.resolve_chunk_budget(bk, chunk_budget)
 
     scheduler = BatchScheduler(backend=bk)
     if n == 0:
@@ -334,3 +341,59 @@ def integrate_many(
         if res is not None and ref is not None:
             res.true_value = float(ref)
     return (results, scheduler.stats) if return_stats else results
+
+
+def serve_jobs(
+    specs: Sequence,
+    max_concurrent: int = 4,
+    backend: BackendSpec = None,
+    cache: bool = True,
+    cache_entries: int = 256,
+    chunk_budget: Optional[int] = None,
+    service=None,
+):
+    """Run a fixed job list through an :class:`~repro.service.IntegrationService`.
+
+    The one-shot service surface used by ``pagani-repro serve`` and the
+    benchmark harness: build a service, submit every spec, wait for all,
+    shut the service down, and return the handles in submission order
+    (inspect ``handle.result()`` / ``handle.status`` / ``handle.stats``).
+
+    Parameters
+    ----------
+    specs:
+        :class:`~repro.service.JobSpec` instances — or dicts in the
+        jobs-file shape (``{"integrand": "5D-f4", "rel_tol": 1e-4,
+        "priority": 3, ...}``).
+    max_concurrent / backend / cache / cache_entries / chunk_budget:
+        Forwarded to :class:`~repro.service.IntegrationService`.
+    service:
+        Use an existing service instead of building one.  The caller
+        keeps ownership: the service is *not* shut down and may hold
+        cache state across calls.
+
+    Returns
+    -------
+    list[repro.service.JobHandle]
+        One terminal handle per spec, in submission order.
+    """
+    from repro.service import IntegrationService, JobSpec
+
+    parsed = [
+        spec if isinstance(spec, JobSpec) else JobSpec.from_dict(dict(spec))
+        for spec in specs
+    ]
+    own_service = service is None
+    if own_service:
+        service = IntegrationService(
+            max_concurrent=max_concurrent, backend=backend, cache=cache,
+            cache_entries=cache_entries, chunk_budget=chunk_budget,
+        )
+    try:
+        handles = service.submit_many(parsed)
+        for handle in handles:
+            handle.wait()
+    finally:
+        if own_service:
+            service.shutdown(wait=True)
+    return handles

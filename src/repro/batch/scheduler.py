@@ -33,7 +33,7 @@ and switches parallel backends to a throughput-tuned grain (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.backends import BackendSpec, ThreadedNumpyBackend, get_backend
 from repro.core.pagani import PaganiRun
@@ -75,6 +75,24 @@ class BatchMemberError(RuntimeError):
 #: every core once the members' thunks are fused.  Each backend declares
 #: its own policy via ``ArrayBackend.preferred_batch_chunk_budget``.
 FUSED_CHUNK_BUDGET = ThreadedNumpyBackend.preferred_batch_chunk_budget
+
+
+class _RetiredRun:
+    """Tombstone for a retired member: finished, memoryless, resultless."""
+
+    finished = True
+    has_result = False
+
+    def abandon(self) -> None:
+        pass
+
+    @property
+    def result(self):
+        raise RuntimeError("this batch member was retired; its result was "
+                           "consumed and released")
+
+
+_RETIRED = _RetiredRun()
 
 
 @dataclass
@@ -124,7 +142,15 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
     def add(self, run: PaganiRun) -> int:
-        """Register a run; returns its member index."""
+        """Register a run; returns its member index.
+
+        Admission is **dynamic**: calling ``add`` between rounds splices
+        the new member into the live rotation — the next ``run_round``
+        serves it alongside the existing members.  (The service layer
+        admits queued jobs this way as earlier jobs converge and free
+        their ``max_concurrent`` slots.)  Adding *during* a round is not
+        supported; rounds are atomic.
+        """
         if run.backend is not self.backend:
             raise ConfigurationError(
                 "batch member was built on a different backend instance "
@@ -142,18 +168,61 @@ class BatchScheduler:
     def members(self) -> List[PaganiRun]:
         return list(self._runs)
 
+    def member(self, index: int) -> PaganiRun:
+        """The run at ``index`` without copying the member list."""
+        return self._runs[index]
+
     @property
     def live(self) -> List[int]:
         """Indices of members that have not reached a terminal status."""
         return [i for i, r in enumerate(self._runs) if not r.finished]
 
     # ------------------------------------------------------------------
-    def run_round(self) -> List[int]:
+    def retire_member(self, index: int) -> None:
+        """Release a finished member's run entirely (long-lived rotations).
+
+        ``add`` only ever appends, so a scheduler hosting a stream of
+        jobs would otherwise pin every finished run — with its result
+        and trace — for its own lifetime.  Retiring replaces the run
+        with a tombstone: the index keeps its slot (later members keep
+        their indices), the member stays non-live, and :meth:`run`
+        yields ``None`` for it.  Only finished members can be retired;
+        the caller must have consumed the result first.
+        """
+        if not self._runs[index].finished:
+            raise ConfigurationError("cannot retire a live member")
+        self._runs[index] = _RETIRED
+
+    # ------------------------------------------------------------------
+    def abandon_member(self, index: int) -> None:
+        """Cancel a live member: release its memory, record its exit.
+
+        The member yields ``None`` in :meth:`run`'s result list, exactly
+        like one abandoned after an integrand failure.  Abandoning an
+        already-finished member is a no-op.  This is the in-flight
+        cancellation hook of the service layer.
+        """
+        run = self._runs[index]
+        if run.finished:
+            return
+        run.abandon()
+        self.stats.exit_round[index] = self.stats.rounds
+
+    # ------------------------------------------------------------------
+    def run_round(self, only: Optional[Sequence[int]] = None) -> List[int]:
         """Serve one iteration to every live member; returns who exited.
 
         The round's evaluation thunks are fused into a single backend
         submission; completion then runs member-by-member in the round's
         service order.
+
+        ``only`` restricts the round to a subset of member indices (the
+        live members not listed simply sit the round out).  This is the
+        weighted-rotation hook: a caller that serves high-priority
+        members in more rounds than low-priority ones gets
+        priority-proportional progress while each individual round keeps
+        the fused-submission shape.  The default serves everyone —
+        plain round-robin fairness, as the fairness tests assert.
 
         A member whose integrand raises is **isolated**: its run is
         abandoned (memory released, no result) and the exception
@@ -163,6 +232,9 @@ class BatchScheduler:
         the dead member.
         """
         live = self.live
+        if only is not None:
+            chosen = set(only)
+            live = [i for i in live if i in chosen]
         if not live:
             return []
         # Rotate the service order by the round number: over the batch

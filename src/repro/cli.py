@@ -14,6 +14,11 @@ Integrate a batch of independent integrands over one shared backend::
 
     pagani-repro batch --integrands 3D-f3,5D-f4,6D-genz-gaussian --backend threaded
 
+Serve a jobs file through the integration service (priority queue +
+result cache)::
+
+    pagani-repro serve --jobs jobs.json --max-concurrent 4 --out results.json
+
 List the available named integrands::
 
     pagani-repro list
@@ -23,50 +28,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.api import integrate, integrate_many
 from repro.backends import BackendUnavailableError, available_backends, get_backend
 from repro.errors import ConfigurationError
-from repro.integrands.base import Integrand
-from repro.integrands.genz import GenzFamily, make_genz
-from repro.integrands.paper import (
-    f1_oscillatory,
-    f2_product_peak,
-    f3_corner_peak,
-    f4_gaussian,
-    f5_c0,
-    f6_discontinuous,
-    f7_box11,
-    f8_box15,
-)
+from repro.integrands.catalog import FACTORIES as _FACTORIES
+from repro.integrands.catalog import named_integrand
+from repro.integrands.genz import GenzFamily
 
-_FACTORIES = {
-    "f1": f1_oscillatory,
-    "f2": f2_product_peak,
-    "f3": f3_corner_peak,
-    "f4": f4_gaussian,
-    "f5": f5_c0,
-    "f6": f6_discontinuous,
-    "f7": f7_box11,
-    "f8": f8_box15,
-}
-
-
-def named_integrand(spec: str) -> Integrand:
-    """Resolve names like ``8D-f7``, ``5D-f4`` or ``6D-genz-gaussian``."""
-    parts = spec.lower().split("-")
-    if len(parts) < 2 or not parts[0].endswith("d"):
-        raise ValueError(f"cannot parse integrand spec {spec!r} (want e.g. '8D-f7')")
-    ndim = int(parts[0][:-1])
-    key = parts[1]
-    if key == "genz":
-        if len(parts) != 3:
-            raise ValueError("genz spec is '<n>D-genz-<family>'")
-        return make_genz(GenzFamily(parts[2]), ndim)
-    if key not in _FACTORIES:
-        raise ValueError(f"unknown integrand {key!r}; options: {sorted(_FACTORIES)}")
-    return _FACTORIES[key](ndim)
+__all__ = ["main", "named_integrand"]
 
 
 def _resolve_backend(spec: str):
@@ -142,6 +113,37 @@ def main(argv: Optional[list] = None) -> int:
         help="override the per-member chunk budget (floats per chunk)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a jobs file through the integration service "
+        "(priority queue + result cache)",
+    )
+    serve.add_argument(
+        "--jobs", required=True,
+        help="path to a jobs JSON file: a list (or {\"jobs\": [...]}) of "
+        "{\"integrand\": \"5D-f4\", \"rel_tol\": 1e-4, \"priority\": 3, ...}",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="jobs admitted into the batch rotation at once (default 4)",
+    )
+    serve.add_argument(
+        "--backend", default="numpy",
+        help="shared execution backend for every job",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="result-cache LRU capacity (default 256)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache (every job recomputes)",
+    )
+    serve.add_argument(
+        "--out", default=None,
+        help="write machine-readable per-job results JSON here",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -154,6 +156,9 @@ def main(argv: Optional[list] = None) -> int:
 
     if args.command == "batch":
         return _run_batch(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     integrand = named_integrand(args.integrand)
     try:
@@ -229,6 +234,96 @@ def _run_batch(args) -> int:
           f"{stats.chunks_submitted} fused chunks, "
           f"{stats.fused_submissions} submissions)")
     return 0 if n_ok == len(results) else 1
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand: a jobs file through the service layer."""
+    import json
+
+    from repro.api import serve_jobs
+    from repro.service import IntegrationService, JobStatus, JobSpec
+
+    try:
+        with open(args.jobs) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read jobs file: {exc}", file=sys.stderr)
+        return 2
+    entries = payload.get("jobs") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list) or not entries:
+        print("error: jobs file must hold a non-empty list of jobs "
+              "(or {\"jobs\": [...]})", file=sys.stderr)
+        return 2
+    try:
+        specs = [JobSpec.from_dict(dict(entry)) for entry in entries]
+        backend = _resolve_backend(args.backend)
+    except (ConfigurationError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    service = IntegrationService(
+        max_concurrent=args.max_concurrent, backend=backend,
+        cache=not args.no_cache, cache_entries=args.cache_entries,
+    )
+    try:
+        handles = serve_jobs(specs, service=service)
+        stats = service.stats()
+    finally:
+        service.shutdown(wait=True)
+
+    rows = []
+    for handle in handles:
+        row = {
+            "job_id": handle.job_id,
+            "label": handle.spec.label or str(handle.spec.integrand),
+            "integrand": str(handle.spec.integrand),
+            "priority": handle.spec.priority,
+            "rel_tol": handle.spec.rel_tol,
+            "status": handle.status.value,
+            "cache_hit": handle.cache_hit,
+            "completion_index": handle.stats.completion_index,
+            "queue_seconds": handle.stats.queue_seconds,
+            "total_seconds": handle.stats.total_seconds,
+        }
+        if handle.status is JobStatus.DONE:
+            res = handle.result(timeout=0)
+            row.update(
+                result_status=res.status.value, estimate=res.estimate,
+                errorest=res.errorest, iterations=res.iterations,
+                neval=res.neval, converged=res.converged,
+            )
+        elif handle.status is JobStatus.FAILED:
+            row["error"] = repr(handle.exception(timeout=0))
+        rows.append(row)
+
+    label_w = max(len(r["label"]) for r in rows)
+    print(f"{'label'.ljust(label_w)}  prio  {'status':<10} {'estimate':>16} "
+          f"{'errorest':>10}  hit  order")
+    for r in rows:
+        est = f"{r['estimate']:>16.9g}" if "estimate" in r else " " * 16
+        err = f"{r['errorest']:>10.3g}" if "errorest" in r else " " * 10
+        order = "-" if r["completion_index"] is None else r["completion_index"]
+        print(f"{r['label'].ljust(label_w)}  {r['priority']:>4}  "
+              f"{r['status']:<10} {est} {err}  {'y' if r['cache_hit'] else 'n':>3}"
+              f"  {order:>5}")
+    n_ok = sum(r.get("converged", False) for r in rows)
+    cache = stats.get("cache") or {}
+    print(f"\n{n_ok}/{len(rows)} converged on backend {backend.name!r} "
+          f"({stats['rounds']} rotation rounds, "
+          f"{cache.get('hits', 0)} cache hits, "
+          f"{stats['coalesced']} coalesced)")
+
+    if args.out:
+        out_payload = {
+            "schema": 1,
+            "jobs": rows,
+            "service": stats,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(out_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if n_ok == len(rows) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,14 +33,14 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.backends import BackendSpec, get_backend
 from repro.core.classify import ThresholdTrace, rel_err_classify, threshold_classify
-from repro.core.regions import RegionStore, bytes_per_region
+from repro.core.regions import RegionStore
 from repro.core.result import IntegrationResult, IterationRecord, Status
 from repro.cubature.evaluation import evaluate_regions
 from repro.cubature.rules import get_rule
@@ -114,6 +114,21 @@ class PaganiConfig:
             return self.initial_splits
         d = max(2, math.ceil(self.init_target ** (1.0 / ndim)))
         return d
+
+    @classmethod
+    def resolve_chunk_budget(cls, backend, override: Optional[int] = None) -> int:
+        """The effective evaluate-chunk grain for batched execution.
+
+        One policy shared by :func:`repro.api.integrate_many` and the
+        service layer (the cache fingerprint hashes this value, so the
+        two must never diverge): an explicit override wins, else the
+        backend's preferred fused grain, else the reference budget.
+        """
+        if override is not None:
+            return int(override)
+        if backend.preferred_batch_chunk_budget is not None:
+            return backend.preferred_batch_chunk_budget
+        return cls.chunk_budget
 
 
 class PaganiIntegrator:

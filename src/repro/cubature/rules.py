@@ -28,7 +28,7 @@ from typing import Any, Dict
 
 import numpy as np
 
-from repro.cubature.orbits import Orbit, make_orbits, solve_weights
+from repro.cubature.orbits import make_orbits, solve_weights
 
 #: Genz–Malik generator values.
 LAMBDA2 = np.sqrt(9.0 / 70.0)

@@ -15,7 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.core.result import IntegrationResult, IterationRecord
+from repro.core.result import IntegrationResult
 
 
 @dataclass

@@ -28,8 +28,11 @@ from repro.integrands.paper import (
     paper_suite,
 )
 from repro.integrands.genz import GenzFamily, make_genz
+from repro.integrands.catalog import canonical_spec, named_integrand
 
 __all__ = [
+    "canonical_spec",
+    "named_integrand",
     "Integrand",
     "ScalarIntegrand",
     "f1_oscillatory",

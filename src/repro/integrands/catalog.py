@@ -1,0 +1,76 @@
+"""The named-integrand catalogue behind specs like ``"8D-f7"``.
+
+A *spec* is the textual integrand identity used everywhere a human (or a
+jobs file) names an integrand instead of passing a callable: the CLI
+(``pagani-repro run --integrand 8D-f7``), service job files
+(``{"integrand": "5D-f4", ...}``) and the result cache, whose content
+fingerprint includes the canonical spec so equal jobs hash equally
+regardless of spelling (``8d-f7`` ≡ ``8D-f7``).
+
+Grammar::
+
+    <n>D-<fk>              the paper's fixed-parameter f1..f8, e.g. 8D-f7
+    <n>D-genz-<family>     a seeded Genz family member, e.g. 6D-genz-gaussian
+
+Genz members drawn here always use the default seed, so a spec denotes
+*one* deterministic integrand — the property the cache relies on.
+"""
+
+from __future__ import annotations
+
+from repro.integrands.base import Integrand
+from repro.integrands.genz import GenzFamily, make_genz
+from repro.integrands.paper import (
+    f1_oscillatory,
+    f2_product_peak,
+    f3_corner_peak,
+    f4_gaussian,
+    f5_c0,
+    f6_discontinuous,
+    f7_box11,
+    f8_box15,
+)
+
+FACTORIES = {
+    "f1": f1_oscillatory,
+    "f2": f2_product_peak,
+    "f3": f3_corner_peak,
+    "f4": f4_gaussian,
+    "f5": f5_c0,
+    "f6": f6_discontinuous,
+    "f7": f7_box11,
+    "f8": f8_box15,
+}
+
+
+def canonical_spec(spec: str) -> str:
+    """Normalise a spec string to its canonical lower-case form.
+
+    Raises ``ValueError`` on anything :func:`named_integrand` would not
+    accept, so a canonical spec is always resolvable.
+    """
+    parts = spec.strip().lower().split("-")
+    if len(parts) < 2 or not parts[0].endswith("d"):
+        raise ValueError(f"cannot parse integrand spec {spec!r} (want e.g. '8D-f7')")
+    try:
+        ndim = int(parts[0][:-1])
+    except ValueError:
+        raise ValueError(f"cannot parse integrand spec {spec!r} (want e.g. '8D-f7')") from None
+    key = parts[1]
+    if key == "genz":
+        if len(parts) != 3:
+            raise ValueError("genz spec is '<n>D-genz-<family>'")
+        GenzFamily(parts[2])  # validates the family name
+        return f"{ndim}d-genz-{parts[2]}"
+    if key not in FACTORIES or len(parts) != 2:
+        raise ValueError(f"unknown integrand {key!r}; options: {sorted(FACTORIES)}")
+    return f"{ndim}d-{key}"
+
+
+def named_integrand(spec: str) -> Integrand:
+    """Resolve names like ``8D-f7``, ``5D-f4`` or ``6D-genz-gaussian``."""
+    parts = canonical_spec(spec).split("-")
+    ndim = int(parts[0][:-1])
+    if parts[1] == "genz":
+        return make_genz(GenzFamily(parts[2]), ndim)
+    return FACTORIES[parts[1]](ndim)

@@ -31,8 +31,8 @@ from __future__ import annotations
 
 from fractions import Fraction
 from functools import lru_cache
-from math import asin, pi, sqrt
-from typing import Callable, Iterable, List, Sequence, Tuple
+from math import pi, sqrt
+from typing import Callable, Iterable, List, Tuple
 
 import numpy as np
 

@@ -1,0 +1,54 @@
+"""Integration service layer: priority job queue + result cache.
+
+PR 1 made the execution substrate pluggable, PR 2 made many integrals
+one workload; this package adds the layer that **accepts, schedules and
+caches requests** — the shape of a system serving integration traffic
+rather than running one batch:
+
+:mod:`repro.service.jobs`
+    The job model: :class:`JobSpec` (request), :class:`JobHandle`
+    (future-like), :class:`JobStatus` (lifecycle).
+:mod:`repro.service.queue`
+    Thread-safe priority queue (priority desc, then looser-``rel_tol``
+    shortest-job-first, then FIFO) with lazy cancellation.
+:mod:`repro.service.cache`
+    Content-addressed LRU :class:`ResultCache`; hits replay the stored
+    :class:`~repro.core.result.IntegrationResult` bit-for-bit.
+:mod:`repro.service.service`
+    :class:`IntegrationService` — the worker loop admitting up to
+    ``max_concurrent`` jobs into a weighted (priority-proportional)
+    batch rotation, with in-flight request coalescing.
+:mod:`repro.service.aio`
+    ``asyncio`` wrapper (:class:`AsyncIntegrationService`).
+
+See ``docs/service.md`` for the job model, the cache fingerprint
+contract and the priority semantics, and ``pagani-repro serve`` /
+``benchmarks/harness.py --service`` for the CLI and benchmark surfaces.
+"""
+
+from repro.service.aio import AsyncIntegrationService, handle_as_future
+from repro.service.cache import ResultCache, job_fingerprint
+from repro.service.jobs import (
+    JobFailedError,
+    JobHandle,
+    JobSpec,
+    JobStats,
+    JobStatus,
+)
+from repro.service.queue import JobQueue
+from repro.service.service import IntegrationService, ServiceClosedError
+
+__all__ = [
+    "IntegrationService",
+    "AsyncIntegrationService",
+    "ServiceClosedError",
+    "JobQueue",
+    "JobSpec",
+    "JobHandle",
+    "JobStats",
+    "JobStatus",
+    "JobFailedError",
+    "ResultCache",
+    "job_fingerprint",
+    "handle_as_future",
+]

@@ -1,0 +1,104 @@
+"""asyncio facade over the integration service.
+
+The service's worker thread completes :class:`~repro.service.jobs.JobHandle`
+objects from outside any event loop; this module bridges them into
+``asyncio`` futures via ``add_done_callback`` +
+``loop.call_soon_threadsafe`` — no polling, no executor threads per job.
+
+Usage::
+
+    async def main():
+        async with AsyncIntegrationService(max_concurrent=4) as svc:
+            r1, r2 = await asyncio.gather(
+                svc.integrate("5D-f4", rel_tol=1e-4, priority=2),
+                svc.integrate("8D-f7", rel_tol=1e-3),
+            )
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import CancelledError
+from typing import Optional
+
+from repro.core.result import IntegrationResult
+from repro.service.jobs import JobHandle, JobStatus
+from repro.service.service import IntegrationService
+
+
+def handle_as_future(
+    handle: JobHandle, loop: Optional[asyncio.AbstractEventLoop] = None
+) -> "asyncio.Future[IntegrationResult]":
+    """Bridge a job handle into an ``asyncio.Future``.
+
+    Must be called with a running event loop (or an explicit ``loop``).
+    Cancelling the future cancels the underlying job (best-effort, like
+    :meth:`JobHandle.cancel`); a cancelled job cancels the future.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    future: "asyncio.Future[IntegrationResult]" = loop.create_future()
+
+    def on_done(h: JobHandle) -> None:
+        def resolve() -> None:
+            if future.cancelled():
+                return
+            # Route through result() so the async path raises exactly
+            # what the sync path raises (JobFailedError with the
+            # integrand's exception chained, CancelledError on cancel).
+            try:
+                future.set_result(h.result(timeout=0))
+            except CancelledError:
+                future.cancel()
+            except BaseException as exc:
+                future.set_exception(exc)
+
+        loop.call_soon_threadsafe(resolve)
+
+    def on_future_done(fut: "asyncio.Future[IntegrationResult]") -> None:
+        if fut.cancelled() and not handle.done:
+            handle.cancel()
+
+    handle.add_done_callback(on_done)
+    future.add_done_callback(on_future_done)
+    return future
+
+
+class AsyncIntegrationService:
+    """``asyncio`` wrapper around :class:`IntegrationService`.
+
+    Accepts the same constructor arguments (or wraps an existing service
+    passed as ``service=``); submission returns awaitables instead of
+    blocking handles.
+    """
+
+    def __init__(self, service: Optional[IntegrationService] = None, **kwargs):
+        if service is not None and kwargs:
+            raise TypeError("pass either a service instance or kwargs, not both")
+        self.service = service if service is not None else IntegrationService(**kwargs)
+
+    def submit(self, *args, **kwargs) -> "asyncio.Future[IntegrationResult]":
+        """Like :meth:`IntegrationService.submit`, returning a future."""
+        return handle_as_future(self.service.submit(*args, **kwargs))
+
+    async def integrate(self, *args, **kwargs) -> IntegrationResult:
+        """Submit and await one job."""
+        return await self.submit(*args, **kwargs)
+
+    async def aclose(self, cancel_pending: bool = False) -> None:
+        """Shut the service down without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.service.shutdown(
+                wait=True, cancel_pending=cancel_pending
+            )
+        )
+
+    async def __aenter__(self) -> "AsyncIntegrationService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+
+__all__ = ["AsyncIntegrationService", "handle_as_future", "JobStatus"]

@@ -1,0 +1,78 @@
+"""Thread-safe priority queue of pending jobs.
+
+Ordering (most-urgent first):
+
+1. **priority** — larger first.  Priorities are small positive integers;
+   an operator raising a job's priority moves it ahead of every
+   lower-priority job no matter how long those have waited.
+2. **rel_tol** — looser first within one priority class.  A looser
+   tolerance means fewer breadth-first iterations, so this is
+   shortest-job-first: cheap jobs clear the queue quickly instead of
+   convoying behind an expensive same-priority neighbour.
+3. **submission order** — FIFO tie-break, for determinism.
+
+Cancellation is lazy: :meth:`JobQueue.pop` silently discards entries
+whose handle left the ``QUEUED`` state (a queued job cancels by flipping
+its own status — no heap surgery required).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import List, Optional, Tuple
+
+from repro.service.jobs import JobHandle, JobStatus
+
+
+class JobQueue:
+    """Priority queue of :class:`~repro.service.jobs.JobHandle`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._heap: List[Tuple[int, float, int, JobHandle]] = []
+        self._seq = itertools.count()
+
+    @staticmethod
+    def _key(handle: JobHandle, seq: int) -> Tuple[int, float, int]:
+        # heapq is a min-heap: negate priority and rel_tol so larger
+        # priority / looser tolerance sort first.
+        return (-handle.spec.priority, -handle.spec.rel_tol, seq)
+
+    # ------------------------------------------------------------------
+    def push(self, handle: JobHandle) -> None:
+        with self._lock:
+            seq = next(self._seq)
+            heapq.heappush(self._heap, (*self._key(handle, seq), handle))
+
+    def pop(self) -> Optional[JobHandle]:
+        """Most-urgent still-queued handle, or None when empty."""
+        with self._lock:
+            while self._heap:
+                handle = heapq.heappop(self._heap)[-1]
+                if handle.status is JobStatus.QUEUED:
+                    return handle
+            return None
+
+    def peek(self) -> Optional[JobHandle]:
+        with self._lock:
+            while self._heap:
+                handle = self._heap[0][-1]
+                if handle.status is JobStatus.QUEUED:
+                    return handle
+                heapq.heappop(self._heap)  # drop the cancelled entry
+            return None
+
+    def __len__(self) -> int:
+        """Number of still-queued entries (cancelled ones excluded)."""
+        with self._lock:
+            return sum(
+                1 for *_, h in self._heap if h.status is JobStatus.QUEUED
+            )
+
+    def snapshot(self) -> List[JobHandle]:
+        """Still-queued handles in service order (for status displays)."""
+        with self._lock:
+            entries = [e for e in self._heap if e[-1].status is JobStatus.QUEUED]
+        return [e[-1] for e in sorted(entries, key=lambda e: e[:3])]

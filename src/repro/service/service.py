@@ -1,0 +1,518 @@
+"""The integration service: queue → cache → weighted batch rotation.
+
+:class:`IntegrationService` turns the batch runner into a traffic-serving
+system.  One background worker thread drives a single long-lived
+:class:`~repro.batch.BatchScheduler` rotation:
+
+* **admission** — whenever fewer than ``max_concurrent`` runs are live,
+  the worker pops the most-urgent queued job (see
+  :mod:`repro.service.queue`).  A job whose fingerprint is cached
+  completes instantly with a bit-identical replay; a job whose
+  fingerprint matches an *in-flight* run coalesces onto it (no second
+  run, no extra slot — the classic cache-stampede fix); everything else
+  starts a fresh :class:`~repro.core.pagani.PaganiRun` and joins the
+  rotation.
+* **weighted rotation** — each scheduler round serves the live members
+  whose accumulated credit reaches the round threshold (credit grows by
+  the job's priority), so a priority-``2p`` job is served iterations
+  twice as often as a priority-``p`` one and, for equal work, finishes
+  first.  Every round still fuses the served members' evaluation chunks
+  into one backend submission.
+* **completion** — converged runs leave the rotation, populate the
+  cache, and resolve their handle (and any coalesced followers).
+
+Thread model: clients call ``submit``/``cancel``/``result`` from any
+thread; all scheduler and cache-write activity happens on the worker
+thread.  The service survives integrand failures (the failing job's
+handle carries the exception; the rotation continues) and is explicitly
+shut down with :meth:`IntegrationService.shutdown` or a ``with`` block.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from concurrent.futures import CancelledError
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends import BackendSpec, get_backend
+from repro.batch import BatchMemberError, BatchScheduler
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.errors import ConfigurationError
+from repro.service.cache import ResultCache, job_fingerprint
+from repro.service.jobs import (
+    JobHandle,
+    JobSpec,
+    JobStatus,
+    ResolvedJob,
+)
+from repro.service.queue import JobQueue
+
+
+class ServiceClosedError(RuntimeError):
+    """Submission after :meth:`IntegrationService.shutdown`."""
+
+
+class IntegrationService:
+    """Accepts, schedules, caches and executes integration jobs.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Live runs admitted into the rotation at once.  Queued jobs wait
+        in priority order for a slot; cache hits and coalesced jobs do
+        not consume slots.
+    backend:
+        Shared execution backend for every run (spec or instance).
+    cache:
+        ``True`` (default) builds a :class:`ResultCache` of
+        ``cache_entries`` slots; ``False`` disables caching; an existing
+        :class:`ResultCache` instance is shared (e.g. across services).
+    cache_entries:
+        LRU capacity when ``cache=True``.
+    chunk_budget:
+        Per-run evaluate-chunk grain.  Default: the backend's
+        ``preferred_batch_chunk_budget`` when it declares one, else the
+        reference budget — on the numpy backend service results are
+        bit-identical to plain :func:`repro.api.integrate` calls.
+    collect_traces:
+        Keep per-iteration traces on results (off by default: a serving
+        system should not grow unbounded trace lists into its cache).
+    history_limit:
+        Retain at most this many *terminal* handles in :meth:`jobs`
+        (oldest pruned first; live handles are always retained and
+        clients of course keep their own references).  ``None``
+        (default) keeps everything — right for one-shot job lists;
+        long-running services should set a bound so memory does not
+        grow with total jobs served.  :meth:`stats` counts pruned jobs
+        via lifetime counters either way.
+
+    Usage::
+
+        with IntegrationService(max_concurrent=4) as svc:
+            fast = svc.submit("5D-f4", rel_tol=1e-4, priority=4)
+            slow = svc.submit("8D-f7", rel_tol=1e-4, priority=1)
+            print(fast.result().estimate)
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        backend: BackendSpec = None,
+        cache: Union[bool, ResultCache] = True,
+        cache_entries: int = 256,
+        chunk_budget: Optional[int] = None,
+        collect_traces: bool = False,
+        history_limit: Optional[int] = None,
+    ):
+        if max_concurrent < 1:
+            raise ConfigurationError("max_concurrent must be >= 1")
+        if history_limit is not None and history_limit < 0:
+            raise ConfigurationError("history_limit must be >= 0 or None")
+        self.history_limit = history_limit
+        self.max_concurrent = int(max_concurrent)
+        self.backend = get_backend(backend)
+        if isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        elif cache:
+            self.cache = ResultCache(max_entries=cache_entries)
+        else:
+            self.cache = None
+        self.chunk_budget = PaganiConfig.resolve_chunk_budget(
+            self.backend, chunk_budget
+        )
+        self.collect_traces = collect_traces
+
+        self._queue = JobQueue()
+        self._scheduler = BatchScheduler(backend=self.backend)
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._worker_error: Optional[BaseException] = None
+
+        # Worker-thread state: member index -> bookkeeping.
+        self._members: Dict[int, JobHandle] = {}
+        self._resolved: Dict[int, ResolvedJob] = {}
+        self._weights: Dict[int, int] = {}
+        self._credits: Dict[int, float] = {}
+        self._followers: Dict[int, List[JobHandle]] = {}
+        self._member_fp: Dict[int, str] = {}
+        self._inflight: Dict[str, int] = {}
+        self._rounds = 0
+        self._coalesced = 0
+        self._completion_counter = 0
+
+        self._handles: List[JobHandle] = []
+        self._pruned_by_status = {status.value: 0 for status in JobStatus}
+        self._next_id = 0
+        self._worker = threading.Thread(
+            target=self._run_loop, name="integration-service", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        integrand: Union[str, Callable[[np.ndarray], np.ndarray]],
+        ndim: Optional[int] = None,
+        *,
+        bounds: Optional[Sequence[Sequence[float]]] = None,
+        rel_tol: float = 1e-3,
+        abs_tol: float = 1e-20,
+        priority: int = 1,
+        label: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+        relerr_filtering: Optional[bool] = None,
+    ) -> JobHandle:
+        """Enqueue one job; returns its future-like :class:`JobHandle`."""
+        return self.submit_spec(
+            JobSpec(
+                integrand=integrand, ndim=ndim, bounds=bounds,
+                rel_tol=rel_tol, abs_tol=abs_tol, priority=priority,
+                label=label, max_iterations=max_iterations,
+                relerr_filtering=relerr_filtering,
+            )
+        )
+
+    def submit_spec(self, spec: JobSpec) -> JobHandle:
+        """Enqueue a prepared :class:`JobSpec` (validated eagerly)."""
+        spec.validate()
+        with self._cond:
+            if self._stopping:
+                raise ServiceClosedError("service is shut down")
+            if self._worker_error is not None:
+                raise ServiceClosedError(
+                    f"service worker died: {self._worker_error!r}"
+                )
+            handle = JobHandle(self._next_id, spec)
+            self._next_id += 1
+            self._handles.append(handle)
+            self._queue.push(handle)
+            self._cond.notify_all()
+        return handle
+
+    def submit_many(self, specs: Sequence[JobSpec]) -> List[JobHandle]:
+        return [self.submit_spec(s) for s in specs]
+
+    def jobs(self) -> List[JobHandle]:
+        """Retained handles in submission order (all of them unless a
+        ``history_limit`` pruned old terminal ones)."""
+        with self._cond:
+            return list(self._handles)
+
+    def wait_all(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job is terminal; False on timeout."""
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        for handle in self.jobs():
+            remaining = (
+                None if deadline is None else max(0.0, deadline - _time.monotonic())
+            )
+            if not handle.wait(remaining):
+                return False
+        return True
+
+    def stats(self) -> dict:
+        """Snapshot of queue/rotation/cache counters."""
+        with self._cond:
+            handles = list(self._handles)
+            rounds = self._rounds
+            coalesced = self._coalesced
+            running = len(self._members) + sum(
+                len(f) for f in self._followers.values()
+            )
+        with self._cond:
+            by_status = dict(self._pruned_by_status)
+        n_pruned = sum(by_status.values())
+        for h in handles:
+            by_status[h.status.value] += 1
+        return {
+            "submitted": len(handles) + n_pruned,
+            "by_status": by_status,
+            "queued": len(self._queue),
+            "running": running,
+            "rounds": rounds,
+            "coalesced": coalesced,
+            "max_concurrent": self.max_concurrent,
+            "backend": self.backend.name,
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting jobs; optionally drop the still-queued ones.
+
+        With ``wait=True`` (default) blocks until the worker drained
+        everything already submitted — running jobs always finish,
+        queued jobs finish unless ``cancel_pending``.
+        """
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if cancel_pending:
+            for handle in self._queue.snapshot():
+                handle.cancel()
+            with self._cond:
+                self._cond.notify_all()
+        if wait:
+            self._worker.join()
+
+    def __enter__(self) -> "IntegrationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        try:
+            while True:
+                with self._cond:
+                    while (
+                        not self._stopping
+                        and len(self._queue) == 0
+                        and not self._members
+                    ):
+                        self._cond.wait()
+                    if (
+                        self._stopping
+                        and len(self._queue) == 0
+                        and not self._members
+                    ):
+                        return
+                self._process_cancellations()
+                self._admit()
+                self._serve_round()
+                self._prune_history()
+        except BaseException as exc:  # the rotation must never die silently
+            self._die(exc)
+
+    def _prune_history(self) -> None:
+        """Drop the oldest terminal handles beyond ``history_limit``.
+
+        Amortised: runs only once the retained list exceeds twice the
+        limit, so the worker does not rescan history every round.
+        """
+        limit = self.history_limit
+        if limit is None:
+            return
+        with self._cond:
+            if len(self._handles) <= max(2 * limit, limit + 16):
+                return
+            terminal = [h for h in self._handles if h.status.terminal]
+            excess = len(terminal) - limit
+            if excess <= 0:
+                return
+            dropped = set()
+            for h in terminal[:excess]:
+                self._pruned_by_status[h.status.value] += 1
+                dropped.add(h.job_id)
+            self._handles = [
+                h for h in self._handles if h.job_id not in dropped
+            ]
+
+    def _die(self, exc: BaseException) -> None:
+        with self._cond:
+            self._worker_error = exc
+            self._stopping = True
+        for handle in self.jobs():
+            if not handle.done:
+                handle._complete(JobStatus.FAILED, exception=exc)
+
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        """Fill free rotation slots from the queue (cache/coalesce first)."""
+        while len(self._members) < self.max_concurrent:
+            handle = self._queue.pop()
+            if handle is None:
+                return
+            if not handle._try_start():
+                continue  # cancelled between pop and start
+            spec = handle.spec
+            try:
+                resolved = spec.resolve()
+            except Exception as exc:
+                self._finish(handle, JobStatus.FAILED, exception=exc)
+                continue
+
+            fingerprint = None
+            if self.cache is not None and resolved.cache_id is not None:
+                fingerprint = job_fingerprint(
+                    integrand_id=resolved.cache_id,
+                    ndim=resolved.ndim,
+                    bounds=resolved.bounds,
+                    rel_tol=spec.rel_tol,
+                    abs_tol=spec.abs_tol,
+                    backend=self.backend.name,
+                    chunk_budget=self.chunk_budget,
+                    max_iterations=spec.max_iterations,
+                    relerr_filtering=resolved.relerr_filtering,
+                    collect_traces=self.collect_traces,
+                )
+                handle.stats.fingerprint = fingerprint
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    handle.stats.cache_hit = True
+                    self._finish(handle, JobStatus.DONE, result=cached)
+                    continue
+                twin = self._inflight.get(fingerprint)
+                if twin is not None:
+                    handle.stats.cache_hit = True
+                    handle.stats.coalesced_with = self._members[twin].job_id
+                    self._followers[twin].append(handle)
+                    # The shared run now serves this job too: it must
+                    # rotate at the *most urgent* attached priority, or
+                    # a high-priority duplicate would crawl at its
+                    # twin's rate.
+                    self._weights[twin] = max(
+                        self._weights[twin], spec.priority
+                    )
+                    with self._cond:
+                        self._coalesced += 1
+                    continue
+
+            cfg = PaganiConfig(
+                rel_tol=spec.rel_tol,
+                abs_tol=spec.abs_tol,
+                relerr_filtering=resolved.relerr_filtering,
+                backend=self.backend,
+                chunk_budget=self.chunk_budget,
+            )
+            if spec.max_iterations is not None:
+                cfg.max_iterations = spec.max_iterations
+            try:
+                run = PaganiIntegrator(cfg).start_run(
+                    resolved.fn, resolved.ndim, bounds=resolved.bounds,
+                    collect_trace=self.collect_traces,
+                )
+            except Exception as exc:
+                self._finish(handle, JobStatus.FAILED, exception=exc)
+                continue
+            index = self._scheduler.add(run)
+            # _members/_followers are read by stats() from client threads;
+            # every structural mutation happens under the condition lock.
+            with self._cond:
+                self._members[index] = handle
+                self._followers[index] = []
+            self._resolved[index] = resolved
+            self._weights[index] = spec.priority
+            self._credits[index] = 0.0
+            if fingerprint is not None:
+                self._member_fp[index] = fingerprint
+                self._inflight[fingerprint] = index
+
+    # ------------------------------------------------------------------
+    def _serve_round(self) -> None:
+        """One weighted rotation round over the live members."""
+        live = sorted(self._members)
+        if not live:
+            return
+        # Weighted round-robin: credit grows by priority; members at the
+        # threshold are served and pay it back.  The highest-priority
+        # member is served every round; a priority-p member every
+        # ceil(w_max / p) rounds — service rate ∝ priority.
+        w_max = max(self._weights[i] for i in live)
+        serve = []
+        for i in live:
+            self._credits[i] += self._weights[i]
+            if self._credits[i] >= w_max:
+                self._credits[i] -= w_max
+                serve.append(i)
+
+        failures: Dict[int, BaseException] = {}
+        try:
+            self._scheduler.run_round(only=serve)
+        except BatchMemberError as exc:
+            failures = exc.failures
+        with self._cond:
+            self._rounds += 1
+        for i in serve:
+            handle = self._members.get(i)
+            if handle is None:
+                continue
+            handle.stats.rounds_served += 1
+            if i in failures:
+                self._finish_member(i, error=failures[i])
+            elif self._scheduler.member(i).finished:
+                self._finish_member(i)
+
+    # ------------------------------------------------------------------
+    def _process_cancellations(self) -> None:
+        """Apply pending cancel requests to running members/followers."""
+        for index in list(self._members):
+            handle = self._members[index]
+            if handle.cancel_requested and not handle.done:
+                self._scheduler.abandon_member(index)
+                self._finish_member(index, cancelled=True)
+        for index, followers in list(self._followers.items()):
+            for follower in list(followers):
+                if follower.cancel_requested and not follower.done:
+                    followers.remove(follower)
+                    follower._complete(
+                        JobStatus.CANCELLED, exception=CancelledError()
+                    )
+
+    # ------------------------------------------------------------------
+    def _finish_member(
+        self,
+        index: int,
+        error: Optional[BaseException] = None,
+        cancelled: bool = False,
+    ) -> None:
+        """Retire rotation member ``index`` and resolve its handles."""
+        with self._cond:
+            handle = self._members.pop(index)
+            followers = self._followers.pop(index)
+        resolved = self._resolved.pop(index)
+        self._weights.pop(index)
+        self._credits.pop(index)
+        fingerprint = self._member_fp.pop(index, None)
+        if fingerprint is not None:
+            self._inflight.pop(fingerprint, None)
+
+        if cancelled:
+            handle._complete(JobStatus.CANCELLED, exception=CancelledError())
+            # Followers coalesced onto a cancelled run still want their
+            # result: back to the queue for a fresh slot.  They are no
+            # longer being served without recomputation, so the
+            # coalescing marks come off before the retry.
+            for follower in followers:
+                if follower._back_to_queue():
+                    follower.stats.cache_hit = False
+                    follower.stats.coalesced_with = None
+                    self._queue.push(follower)
+            self._scheduler.retire_member(index)
+            return
+        if error is not None:
+            # Deterministic integrand failure: the coalesced twins would
+            # fail identically, so fail them now instead of re-running.
+            self._finish(handle, JobStatus.FAILED, exception=error)
+            for follower in followers:
+                self._finish(follower, JobStatus.FAILED, exception=error)
+            self._scheduler.retire_member(index)
+            return
+
+        result = self._scheduler.member(index).result
+        # Retire the member immediately: a long-lived rotation must not
+        # pin every finished run (and its result/trace) forever.
+        self._scheduler.retire_member(index)
+        if resolved.reference is not None:
+            result.true_value = resolved.reference
+        if fingerprint is not None and self.cache is not None:
+            self.cache.put(fingerprint, result)
+        self._finish(handle, JobStatus.DONE, result=result)
+        for follower in followers:
+            self._finish(
+                follower, JobStatus.DONE, result=copy.deepcopy(result)
+            )
+
+    def _finish(self, handle: JobHandle, status: JobStatus, **kwargs) -> None:
+        if status in (JobStatus.DONE, JobStatus.FAILED):
+            handle.stats.completion_index = self._completion_counter
+            self._completion_counter += 1
+        handle._complete(status, **kwargs)

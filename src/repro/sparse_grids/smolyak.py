@@ -17,7 +17,6 @@ tolerance (the standard global heuristic).
 
 from __future__ import annotations
 
-import itertools
 import math
 import time
 from dataclasses import dataclass

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.baselines.qmc import QmcConfig, QmcIntegrator
@@ -138,7 +138,6 @@ def test_qmc_halton_engine():
 
 
 def test_qmc_custom_bounds():
-    import math
 
     from repro.integrands.base import Integrand
 

@@ -1,7 +1,6 @@
 """Additional properties of the low-discrepancy substrate."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Additional edge cases for the classification layer."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ so the limitations stay documented by executable examples.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import PaganiConfig, PaganiIntegrator
 from repro.cubature.rules import LAMBDA3, get_rule

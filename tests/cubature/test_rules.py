@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cubature.rules import (
-    GenzMalikRule,
     get_rule,
     point_count,
     published_degree5_orbit_weights,

@@ -1,6 +1,5 @@
 """Cost-model behaviours the figure reproductions rely on."""
 
-import numpy as np
 import pytest
 
 from repro.gpu.device import (

@@ -1,6 +1,5 @@
 """Cross-module device behaviour: accounting consistency across methods."""
 
-import numpy as np
 import pytest
 
 from repro.core import PaganiConfig, PaganiIntegrator

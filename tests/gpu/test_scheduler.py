@@ -1,6 +1,5 @@
 """Block scheduler: makespan bounds and imbalance statistics."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Integrand wrapper types."""
 
 import numpy as np
-import pytest
 
 from repro.integrands.base import Integrand, ScalarIntegrand
 

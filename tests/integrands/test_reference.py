@@ -71,7 +71,6 @@ def test_h2_mean_is_two_thirds():
 
 
 def test_h4_density_normalised():
-    grid = np.linspace(0, 4, 9)
     val = integrate_panels(
         lambda t: np.array([h4_density(v) for v in np.atleast_1d(t)]),
         0.0, 4.0, breakpoints=[1.0, 2.0, 3.0],

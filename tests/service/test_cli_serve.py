@@ -1,0 +1,93 @@
+"""CLI ``serve`` round trip on a jobs file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_jobs(path, entries):
+    path.write_text(json.dumps({"jobs": entries}))
+    return str(path)
+
+
+def test_serve_round_trip(tmp_path, capsys):
+    jobs = write_jobs(
+        tmp_path / "jobs.json",
+        [
+            {"integrand": "3D-f4", "rel_tol": 1e-4, "priority": 3},
+            {"integrand": "3D-f3", "rel_tol": 1e-3, "priority": 1},
+            {"integrand": "3D-f4", "rel_tol": 1e-4, "label": "repeat"},
+        ],
+    )
+    out = tmp_path / "results.json"
+    rc = main(["serve", "--jobs", jobs, "--out", str(out)])
+    stdout = capsys.readouterr().out
+    assert rc == 0
+    assert "3/3 converged" in stdout
+    assert "repeat" in stdout
+
+    payload = json.loads(out.read_text())
+    rows = payload["jobs"]
+    assert [r["status"] for r in rows] == ["done"] * 3
+    # the duplicate was served from the cache (or coalesced) ...
+    assert rows[2]["cache_hit"]
+    # ... with bit-identical numbers
+    assert rows[2]["estimate"] == rows[0]["estimate"]
+    assert rows[2]["errorest"] == rows[0]["errorest"]
+    # service summary present and coherent
+    assert payload["service"]["submitted"] == 3
+    hits = (payload["service"]["cache"] or {}).get("hits", 0)
+    assert hits + payload["service"]["coalesced"] >= 1
+
+
+def test_serve_accepts_bare_list(tmp_path, capsys):
+    jobs = tmp_path / "jobs.json"
+    jobs.write_text(json.dumps([{"integrand": "3D-f4", "rel_tol": 1e-3}]))
+    assert main(["serve", "--jobs", str(jobs)]) == 0
+    assert "1/1 converged" in capsys.readouterr().out
+
+
+def test_serve_no_cache_flag(tmp_path, capsys):
+    jobs = write_jobs(
+        tmp_path / "jobs.json",
+        [
+            {"integrand": "3D-f4", "rel_tol": 1e-3},
+            {"integrand": "3D-f4", "rel_tol": 1e-3},
+        ],
+    )
+    out = tmp_path / "results.json"
+    assert main(["serve", "--jobs", jobs, "--no-cache", "--out", str(out)]) == 0
+    rows = json.loads(out.read_text())["jobs"]
+    assert not any(r["cache_hit"] for r in rows)
+    assert rows[0]["estimate"] == rows[1]["estimate"]  # still deterministic
+
+
+def test_serve_missing_file(tmp_path, capsys):
+    assert main(["serve", "--jobs", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read jobs file" in capsys.readouterr().err
+
+
+def test_serve_rejects_empty_jobs(tmp_path, capsys):
+    jobs = tmp_path / "jobs.json"
+    jobs.write_text("[]")
+    assert main(["serve", "--jobs", str(jobs)]) == 2
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [
+        {"integrand": "3D-f99"},
+        {"integrand": "bogus"},
+        {"integrand": "3D-f4", "priority": 0},
+        {"integrand": "3D-f4", "frobnicate": True},
+        {"integrand": 42},
+    ],
+)
+def test_serve_rejects_bad_entries(tmp_path, capsys, entry):
+    jobs = write_jobs(tmp_path / "jobs.json", [entry])
+    assert main(["serve", "--jobs", jobs]) == 2
+    assert "error:" in capsys.readouterr().err

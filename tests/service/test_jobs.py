@@ -1,0 +1,156 @@
+"""JobSpec serialisation/resolution and JobHandle edge behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import JobSpec, JobStatus
+from repro.service.jobs import JobHandle
+
+
+# ---------------------------------------------------------------------------
+# JobSpec <-> jobs-file dict round trip
+# ---------------------------------------------------------------------------
+def test_to_dict_from_dict_round_trip():
+    spec = JobSpec(
+        "5D-f4", rel_tol=1e-4, priority=3, label="hot",
+        max_iterations=20, bounds=[(0.0, 1.0)] * 5,
+    )
+    clone = JobSpec.from_dict(spec.to_dict())
+    assert clone.integrand == "5D-f4"
+    assert clone.rel_tol == 1e-4
+    assert clone.priority == 3
+    assert clone.label == "hot"
+    assert clone.max_iterations == 20
+    assert np.asarray(clone.bounds).shape == (5, 2)
+
+
+def test_to_dict_omits_defaults():
+    out = JobSpec("3D-f4").to_dict()
+    assert out == {"integrand": "3D-f4"}
+
+
+def test_to_dict_rejects_callable_integrand():
+    with pytest.raises(ConfigurationError):
+        JobSpec(lambda x: x, ndim=2).to_dict()
+
+
+def test_from_dict_requires_integrand_key():
+    with pytest.raises(ConfigurationError):
+        JobSpec.from_dict({"rel_tol": 1e-4})
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+def test_resolve_named_spec_fills_everything():
+    resolved = JobSpec("3D-f4", rel_tol=1e-4).resolve()
+    assert resolved.ndim == 3
+    assert resolved.cache_id == "3d-f4"
+    assert resolved.bounds.shape == (3, 2)
+    assert resolved.reference is not None
+    assert resolved.relerr_filtering  # f4 is sign-definite
+
+
+def test_resolve_spec_is_case_insensitive():
+    assert JobSpec("3d-F4").resolve().cache_id == JobSpec("3D-f4").resolve().cache_id
+
+
+def test_resolve_rejects_ndim_mismatch():
+    with pytest.raises(ConfigurationError):
+        JobSpec("3D-f4", ndim=5).resolve()
+
+
+def test_resolve_callable_needs_ndim():
+    with pytest.raises(ConfigurationError):
+        JobSpec(lambda x: x).resolve()
+
+
+def test_resolve_callable_cache_key_opt_in():
+    def f(x):
+        return np.ones(x.shape[0])
+
+    assert JobSpec(f, ndim=2).resolve().cache_id is None
+    f.cache_key = "my-fn-v1"
+    assert JobSpec(f, ndim=2).resolve().cache_id == "custom:my-fn-v1"
+
+
+def test_resolve_rejects_bad_bounds_shape():
+    with pytest.raises(ConfigurationError):
+        JobSpec("3D-f4", bounds=[(0.0, 1.0)] * 2).resolve()
+
+
+def test_resolve_explicit_filtering_overrides_integrand():
+    assert JobSpec("3D-f4", relerr_filtering=False).resolve().relerr_filtering is False
+
+
+# ---------------------------------------------------------------------------
+# JobHandle edges
+# ---------------------------------------------------------------------------
+def test_result_timeout_on_pending_handle():
+    handle = JobHandle(0, JobSpec("3D-f4"))
+    with pytest.raises(TimeoutError):
+        handle.result(timeout=0.01)
+    with pytest.raises(TimeoutError):
+        handle.exception(timeout=0.01)
+
+
+def test_wait_times_out_then_succeeds():
+    handle = JobHandle(0, JobSpec("3D-f4"))
+    assert not handle.wait(timeout=0.01)
+    handle._complete(JobStatus.DONE, result=None)
+    assert handle.wait(timeout=0.01)
+
+
+def test_done_callback_fires_immediately_when_terminal():
+    handle = JobHandle(0, JobSpec("3D-f4"))
+    handle._complete(JobStatus.FAILED, exception=RuntimeError("x"))
+    seen = []
+    handle.add_done_callback(seen.append)
+    assert seen == [handle]
+
+
+def test_callback_exception_swallowed():
+    handle = JobHandle(0, JobSpec("3D-f4"))
+
+    def bad_callback(h):
+        raise RuntimeError("callback bug")
+
+    handle.add_done_callback(bad_callback)
+    handle._complete(JobStatus.DONE, result=None)  # must not raise
+    assert handle.done
+
+
+def test_second_complete_is_ignored():
+    handle = JobHandle(0, JobSpec("3D-f4"))
+    handle._complete(JobStatus.FAILED, exception=RuntimeError("first"))
+    handle._complete(JobStatus.DONE, result=None)
+    assert handle.status is JobStatus.FAILED
+
+
+def test_repr_mentions_status_and_label():
+    handle = JobHandle(7, JobSpec("3D-f4", label="hot"))
+    assert "hot" in repr(handle) and "queued" in repr(handle)
+
+
+def test_stats_timing_properties():
+    handle = JobHandle(0, JobSpec("3D-f4"))
+    assert handle.stats.queue_seconds is None
+    assert handle.stats.total_seconds is None
+    assert handle._try_start()
+    assert not handle._try_start()  # already running
+    assert handle.stats.queue_seconds >= 0.0
+    handle._complete(JobStatus.DONE, result=None)
+    assert handle.stats.total_seconds >= 0.0
+
+
+def test_back_to_queue_only_from_running():
+    handle = JobHandle(0, JobSpec("3D-f4"))
+    assert not handle._back_to_queue()  # queued -> no-op
+    assert handle._try_start()
+    assert handle._back_to_queue()
+    assert handle.status is JobStatus.QUEUED
+    handle._complete(JobStatus.DONE, result=None)
+    assert not handle._back_to_queue()  # terminal -> no-op

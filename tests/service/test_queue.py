@@ -1,0 +1,109 @@
+"""JobQueue ordering, laziness and thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service import JobQueue, JobSpec, JobStatus
+from repro.service.jobs import JobHandle
+
+
+def handle(job_id=0, priority=1, rel_tol=1e-3, label=None):
+    return JobHandle(
+        job_id, JobSpec("3D-f4", priority=priority, rel_tol=rel_tol, label=label)
+    )
+
+
+def test_priority_orders_first():
+    q = JobQueue()
+    low = handle(0, priority=1)
+    high = handle(1, priority=5)
+    mid = handle(2, priority=3)
+    for h in (low, high, mid):
+        q.push(h)
+    assert [q.pop() for _ in range(3)] == [high, mid, low]
+    assert q.pop() is None
+
+
+def test_looser_tolerance_first_within_priority():
+    """Shortest-job-first inside one priority class: cheap (loose-tol)
+    jobs do not convoy behind an expensive neighbour."""
+    q = JobQueue()
+    tight = handle(0, rel_tol=1e-8)
+    loose = handle(1, rel_tol=1e-3)
+    mid = handle(2, rel_tol=1e-5)
+    for h in (tight, loose, mid):
+        q.push(h)
+    assert [q.pop() for _ in range(3)] == [loose, mid, tight]
+
+
+def test_fifo_tie_break():
+    q = JobQueue()
+    handles = [handle(i) for i in range(5)]
+    for h in handles:
+        q.push(h)
+    assert [q.pop() for _ in range(5)] == handles
+
+
+def test_pop_skips_cancelled_entries():
+    q = JobQueue()
+    keep = handle(0)
+    drop = handle(1, priority=9)  # most urgent, but cancelled
+    q.push(keep)
+    q.push(drop)
+    assert drop.cancel()
+    assert drop.status is JobStatus.CANCELLED
+    assert len(q) == 1
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_peek_does_not_consume():
+    q = JobQueue()
+    h = handle(0)
+    q.push(h)
+    assert q.peek() is h
+    assert q.peek() is h
+    assert q.pop() is h
+    assert q.peek() is None
+
+
+def test_snapshot_in_service_order():
+    q = JobQueue()
+    a = handle(0, priority=1, label="a")
+    b = handle(1, priority=2, label="b")
+    c = handle(2, priority=2, rel_tol=1e-6, label="c")
+    for h in (a, b, c):
+        q.push(h)
+    assert [h.spec.label for h in q.snapshot()] == ["b", "c", "a"]
+    assert len(q) == 3  # snapshot is non-destructive
+
+
+def test_concurrent_push_pop():
+    q = JobQueue()
+    n_producers, per_producer = 4, 50
+    popped = []
+    pop_lock = threading.Lock()
+    done = threading.Event()
+
+    def produce(base):
+        for i in range(per_producer):
+            q.push(handle(base * per_producer + i))
+
+    def consume():
+        while not (done.is_set() and len(q) == 0):
+            h = q.pop()
+            if h is not None:
+                with pop_lock:
+                    popped.append(h.job_id)
+
+    threads = [threading.Thread(target=produce, args=(k,)) for k in range(n_producers)]
+    consumer = threading.Thread(target=consume)
+    consumer.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    done.set()
+    consumer.join(timeout=10)
+    assert sorted(popped) == list(range(n_producers * per_producer))

@@ -157,6 +157,49 @@ def test_batch_bench_smoke_roundtrip(tmp_path):
     )
 
 
+def test_service_bench_smoke_roundtrip(tmp_path, capsys):
+    data = hz.run_service_bench(smoke=True)
+    assert data["mode"] == "smoke"
+    assert data["n_jobs"] == len(data["unique_jobs"]) * data["duplicate_factor"]
+    # bit-identity against cold integrate() runs must hold in every pass
+    for key, bad in data["bit_identity"].items():
+        assert bad == [], key
+    # the warm replay is served entirely from the cache
+    assert data["runs"]["warm_replay"]["all_cache_hits"]
+    assert data["priority_order"]["in_priority_order"]
+    assert data["priority_order"]["completion_order"] == [8, 4, 2, 1]
+    # every duplicate was served without recomputation (hit or coalesced)
+    n_dupes = data["n_jobs"] - len(data["unique_jobs"])
+    assert data["runs"]["with_cache"]["served_without_recompute"] >= n_dupes
+
+    path = hz.write_service_bench(data, out=tmp_path / "BENCH_service.json")
+    import json
+
+    loaded = json.loads(path.read_text())
+    assert loaded["suite"] == "pagani-service-bench"
+    hz.print_service_bench(data)
+    out = capsys.readouterr().out
+    assert "priority completion order" in out
+    assert "bit-identity" in out
+
+
+def test_committed_service_bench_artifact_claims():
+    """The committed BENCH_service.json must actually evidence the
+    service-layer claims: >=5x duplicate-mix speedup via cache hits,
+    bit-identical replays, priority-order completion."""
+    import json
+
+    path = hz.RESULTS_DIR / hz.SERVICE_BENCH_FILE
+    data = json.loads(path.read_text())
+    assert data["suite"] == "pagani-service-bench"
+    assert data["generated_by"].endswith("harness.py --service")
+    assert data["cache_speedup"] >= 5.0
+    for key, bad in data["bit_identity"].items():
+        assert bad == [], key
+    assert data["priority_order"]["in_priority_order"]
+    assert data["runs"]["warm_replay"]["all_cache_hits"]
+
+
 def test_batch_bench_members_cover_all_families():
     names = {f.name for f in hz.batch_bench_members(smoke=False)}
     for family in ("oscillatory", "product_peak", "corner_peak", "gaussian",

@@ -1,0 +1,120 @@
+"""tools/check_bench_regression.py: the CI benchmark gate."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+
+import check_bench_regression as gate  # noqa: E402
+
+
+def payload(rate_s_per_meval=0.1, converged=True, matches=True, backends=("numpy",)):
+    """A minimal BENCH_backends-shaped payload with a known eval rate."""
+    neval = 2_000_000
+    return {
+        "schema": 1,
+        "backends": {
+            spec: [
+                {
+                    "integrand": "3D f4",
+                    "digits": 3,
+                    "converged": converged,
+                    "matches_numpy": matches,
+                    "wall_seconds": rate_s_per_meval * neval / 1e6,
+                    "neval": neval,
+                }
+            ]
+            for spec in backends
+        },
+    }
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def run(tmp_path, baseline, current, extra=()):
+    return gate.main(
+        [
+            "--baseline", write(tmp_path, "baseline.json", baseline),
+            "--current", write(tmp_path, "current.json", current),
+            *extra,
+        ]
+    )
+
+
+def test_ok_within_tolerance(tmp_path, capsys):
+    assert run(tmp_path, payload(0.1), payload(0.25)) == 0
+    assert "benchmark gate OK" in capsys.readouterr().out
+
+
+def test_regression_beyond_tolerance(tmp_path, capsys):
+    assert run(tmp_path, payload(0.1), payload(0.5)) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_tolerance_flag(tmp_path):
+    assert run(tmp_path, payload(0.1), payload(0.5), ["--tolerance", "10"]) == 0
+
+
+def test_smoke_dnf_is_fatal_even_when_fast(tmp_path, capsys):
+    assert run(tmp_path, payload(0.1), payload(0.05, converged=False)) == 1
+    assert "did not converge" in capsys.readouterr().err
+
+
+def test_numerics_mismatch_is_fatal(tmp_path, capsys):
+    assert run(tmp_path, payload(0.1), payload(0.1, matches=False)) == 1
+    assert "disagrees with the numpy reference" in capsys.readouterr().err
+
+
+def test_ungated_backend_reported_not_gated(tmp_path, capsys):
+    baseline = payload(0.1, backends=("numpy", "threaded"))
+    current = payload(0.1, backends=("numpy", "threaded"))
+    current["backends"]["threaded"][0]["wall_seconds"] *= 50
+    assert run(tmp_path, baseline, current) == 0
+    assert "not gated" in capsys.readouterr().out
+
+
+def test_backend_without_baseline_skipped(tmp_path, capsys):
+    assert run(
+        tmp_path,
+        payload(0.1, backends=("numpy",)),
+        payload(0.1, backends=("numpy", "exotic")),
+    ) == 0
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_gated_backend_missing_from_current_fails(tmp_path, capsys):
+    assert run(
+        tmp_path,
+        payload(0.1, backends=("numpy",)),
+        payload(0.1, backends=("threaded",)),
+    ) == 1
+    assert "none of the gated backends" in capsys.readouterr().err
+
+
+def test_structural_errors_exit_2(tmp_path):
+    good = write(tmp_path, "good.json", payload())
+    with pytest.raises(SystemExit) as exc:
+        gate.main(["--baseline", good, "--current", str(tmp_path / "missing.json")])
+    assert exc.value.code == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit) as exc:
+        gate.main(["--baseline", good, "--current", str(bad)])
+    assert exc.value.code == 2
+    no_backends = write(tmp_path, "nb.json", {"schema": 1})
+    with pytest.raises(SystemExit) as exc:
+        gate.main(["--baseline", good, "--current", no_backends])
+    assert exc.value.code == 2
+
+
+def test_committed_baseline_is_loadable():
+    data = gate.load(gate.DEFAULT_BASELINE)
+    assert "numpy" in data["backends"]
+    assert gate.backend_rate(data["backends"]["numpy"]) > 0

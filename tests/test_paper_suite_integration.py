@@ -6,7 +6,6 @@ loop, classification and the analytic references together in every
 dimensionality the paper evaluates.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import PaganiConfig, PaganiIntegrator, Status

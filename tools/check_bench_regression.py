@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI.
+
+Compares a fresh smoke run of the backend benchmark
+(``python benchmarks/harness.py --smoke --out current.json``) against the
+committed baseline ``benchmarks/results/BENCH_backends.json``.
+
+The two payloads run *different workloads* (the committed baseline is
+the quick-mode fig5/fig6 sweep; the smoke run is one CI-sized job), so
+raw wall seconds are not comparable.  The gate therefore compares the
+**normalised evaluation rate** — wall seconds per million integrand
+evaluations — which is workload-size independent to first order, with a
+deliberately generous tolerance (default 3x): shared CI runners jitter,
+real pathologies (an accidentally quadratic hot path, a dropped
+vectorisation) blow through 3x anyway.
+
+Hard checks (always fatal, tolerance-independent):
+
+* every smoke row converged — the smoke workload is chosen to converge,
+  a DNF means the algorithm broke;
+* every smoke row agrees with the numpy reference
+  (``matches_numpy``) — a silent numerics change is worse than a slowdown.
+
+Exit codes: 0 OK, 1 regression/mismatch, 2 structural problem (missing
+file, malformed payload).
+
+Usage::
+
+    python benchmarks/harness.py --smoke --out /tmp/current.json
+    python tools/check_bench_regression.py --current /tmp/current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_backends.json"
+
+#: per-million-eval wall seconds below this are treated as this value
+#: when forming ratios, so timer noise on microscopic workloads cannot
+#: fabricate a regression (or hide one behind a zero division).
+RATE_FLOOR = 1e-6
+
+
+def load(path: Path) -> dict:
+    def structural(msg: str) -> SystemExit:
+        print(msg, file=sys.stderr)
+        return SystemExit(2)
+
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise structural(f"error: cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise structural(f"error: {path} is not valid JSON: {exc}")
+    if "backends" not in data or not isinstance(data["backends"], dict):
+        raise structural(f"error: {path} has no 'backends' section")
+    return data
+
+
+def rate_per_meval(row: dict) -> float:
+    """Wall seconds per million evaluations for one benchmark row."""
+    neval = max(1, int(row.get("neval", 0)))
+    return max(RATE_FLOOR, float(row["wall_seconds"]) / neval * 1e6)
+
+
+def backend_rate(rows: list) -> float:
+    """Median per-Meval rate over a backend's rows (robust to one
+    outlier workload)."""
+    return statistics.median(rate_per_meval(r) for r in rows)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline payload (default: {DEFAULT_BASELINE})",
+    )
+    ap.add_argument(
+        "--current", type=Path, required=True,
+        help="freshly generated payload to gate (harness --smoke output)",
+    )
+    ap.add_argument(
+        "--tolerance", type=float, default=3.0,
+        help="allowed current/baseline rate ratio (default 3.0 — "
+        "generous on purpose; only pathologies should trip it)",
+    )
+    ap.add_argument(
+        "--backends", default="numpy",
+        help="comma-separated backends to gate (default: numpy — the "
+        "deterministic reference; others are reported informationally)",
+    )
+    args = ap.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    gated = [b.strip() for b in args.backends.split(",") if b.strip()]
+
+    failures = []
+
+    # --- hard checks on the fresh run -----------------------------------
+    for spec, rows in current["backends"].items():
+        for row in rows:
+            label = f"{spec}/{row.get('integrand')}@d{row.get('digits')}"
+            if not row.get("converged", False):
+                failures.append(f"{label}: smoke workload did not converge")
+            if not row.get("matches_numpy", False):
+                failures.append(f"{label}: disagrees with the numpy reference")
+
+    # --- rate comparison -------------------------------------------------
+    print(f"{'backend':<12} {'baseline':>12} {'current':>12} {'ratio':>7}  gate")
+    for spec in sorted(current["backends"]):
+        cur_rows = current["backends"][spec]
+        base_rows = baseline["backends"].get(spec)
+        if not cur_rows:
+            continue
+        if not base_rows:
+            print(f"{spec:<12} {'-':>12} {backend_rate(cur_rows):>10.3f}"
+                  f"{'':>2} {'-':>7}  no baseline (skipped)")
+            continue
+        base_rate = backend_rate(base_rows)
+        cur_rate = backend_rate(cur_rows)
+        ratio = cur_rate / base_rate
+        is_gated = spec in gated
+        verdict = "OK"
+        if ratio > args.tolerance and is_gated:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{spec}: {cur_rate:.3f} s/Meval vs baseline "
+                f"{base_rate:.3f} s/Meval ({ratio:.2f}x > "
+                f"{args.tolerance:.1f}x allowed)"
+            )
+        elif ratio > args.tolerance:
+            verdict = "slow (not gated)"
+        print(f"{spec:<12} {base_rate:>10.3f}s {cur_rate:>10.3f}s "
+              f"{ratio:>6.2f}x  {verdict}")
+
+    if not any(spec in current["backends"] for spec in gated):
+        failures.append(
+            f"none of the gated backends {gated} appear in the current run"
+        )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbenchmark gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
