@@ -54,14 +54,16 @@ def main() -> None:
         )
 
     # The hot path runs on a pluggable array backend: "numpy" (default),
-    # "threaded"/"threaded:<N>" for multi-core hosts, "cupy" on a real GPU.
-    # Host backends are bit-identical to the reference — only wall-clock
-    # changes.
+    # "threaded"/"threaded:<N>" for multi-core hosts, "process"/"process:<N>"
+    # for GIL-free multi-core (catalogue integrands ship to worker
+    # processes; closures like `banana` run in-process), "cupy" on a real
+    # GPU.  Host backends are bit-identical to the reference — only
+    # wall-clock changes.
     print("\n== Backend selection (identical results, different substrate) ==")
-    for backend in ("numpy", "threaded"):
+    for backend in ("numpy", "threaded", "process:2"):
         res = integrate(banana, ndim=4, rel_tol=1e-5, backend=backend)
         print(
-            f"  backend={backend:<9s}: estimate={res.estimate:.12f}  "
+            f"  backend={backend:<10s}: estimate={res.estimate:.12f}  "
             f"wall={res.wall_seconds * 1e3:7.1f} ms"
         )
 
@@ -97,8 +99,8 @@ def main() -> None:
     # instead of recomputing them (see docs/service.md).
     from repro.service import IntegrationService
 
-    print("\n== Service mode: priorities + result cache ==")
-    with IntegrationService(max_concurrent=4) as svc:
+    print("\n== Service mode: priorities + result cache (2 shards) ==")
+    with IntegrationService(max_concurrent=4, shards=2) as svc:
         urgent = svc.submit("4D-genz-gaussian", rel_tol=1e-6, priority=4)
         background = svc.submit("3D-f4", rel_tol=1e-5, priority=1)
         repeat = svc.submit("4D-genz-gaussian", rel_tol=1e-6)  # duplicate

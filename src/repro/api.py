@@ -88,7 +88,8 @@ def integrate(
         Iteration cap for the breadth-first methods.
     backend:
         Execution backend for the PAGANI hot path: ``"numpy"`` (default),
-        ``"threaded"`` / ``"threaded:<N>"``, ``"cupy"``, or an
+        ``"threaded"`` / ``"threaded:<N>"``, ``"process"`` /
+        ``"process:<N>"``, ``"cupy"``, or an
         :class:`~repro.backends.base.ArrayBackend` instance.  Host
         backends produce results identical to the NumPy reference; see
         :mod:`repro.backends`.  Only ``method="pagani"`` accepts a
@@ -99,6 +100,28 @@ def integrate(
     IntegrationResult
         With ``true_value`` filled in when the integrand carries a
         ``reference`` attribute.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import integrate
+    >>> res = integrate(
+    ...     lambda x: np.exp(-np.sum(x**2, axis=1)), ndim=3, rel_tol=1e-4,
+    ... )
+    >>> res.converged
+    True
+    >>> bool(abs(res.estimate - 0.4165384) < 1e-4)
+    True
+
+    Host backends are bit-identical to the reference, so swapping the
+    execution substrate never changes the numbers:
+
+    >>> fast = integrate(
+    ...     lambda x: np.exp(-np.sum(x**2, axis=1)), ndim=3, rel_tol=1e-4,
+    ...     backend="threaded",
+    ... )
+    >>> fast.estimate == res.estimate
+    True
     """
     if method not in _METHODS:
         raise ConfigurationError(f"unknown method {method!r}; pick one of {_METHODS}")
@@ -269,6 +292,25 @@ def integrate_many(
         batch start to that member's exit — elapsed shared time, not the
         member's own compute cost (members interleave on one backend);
         per-member ``sim_seconds`` remains the isolated cost model.
+
+    Examples
+    --------
+    >>> from repro import integrate_many
+    >>> from repro.integrands.catalog import named_integrand
+    >>> members = [named_integrand("3D-f4"), named_integrand("3D-f3")]
+    >>> results = integrate_many(members, rel_tol=1e-3)
+    >>> [r.converged for r in results]
+    [True, True]
+
+    On the numpy backend every member is bit-identical to a sequential
+    :func:`integrate` call; parallel backends (``"threaded"``,
+    ``"process"``, ``"process:<N>"``) trade that for throughput under
+    the machine-precision contract:
+
+    >>> from repro import integrate
+    >>> seq = integrate(members[0], 3, rel_tol=1e-3)
+    >>> results[0].estimate == seq.estimate
+    True
     """
     from repro.batch import BatchMemberError, BatchScheduler
 
@@ -350,6 +392,7 @@ def serve_jobs(
     cache: bool = True,
     cache_entries: int = 256,
     chunk_budget: Optional[int] = None,
+    shards: int = 1,
     service=None,
 ):
     """Run a fixed job list through an :class:`~repro.service.IntegrationService`.
@@ -365,8 +408,10 @@ def serve_jobs(
         :class:`~repro.service.JobSpec` instances — or dicts in the
         jobs-file shape (``{"integrand": "5D-f4", "rel_tol": 1e-4,
         "priority": 3, ...}``).
-    max_concurrent / backend / cache / cache_entries / chunk_budget:
-        Forwarded to :class:`~repro.service.IntegrationService`.
+    max_concurrent / backend / cache / cache_entries / chunk_budget / shards:
+        Forwarded to :class:`~repro.service.IntegrationService`
+        (``shards=K`` serves the queue with ``K`` independent worker
+        rotations, each pinned to its own backend instance).
     service:
         Use an existing service instead of building one.  The caller
         keeps ownership: the service is *not* shut down and may hold
@@ -376,6 +421,19 @@ def serve_jobs(
     -------
     list[repro.service.JobHandle]
         One terminal handle per spec, in submission order.
+
+    Examples
+    --------
+    >>> from repro import serve_jobs
+    >>> from repro.service import JobSpec
+    >>> handles = serve_jobs([
+    ...     JobSpec("3D-f4", rel_tol=1e-3, priority=3),
+    ...     JobSpec("3D-f4", rel_tol=1e-3),      # duplicate: cache/coalesce
+    ... ])
+    >>> [h.status.value for h in handles]
+    ['done', 'done']
+    >>> handles[0].result().estimate == handles[1].result().estimate
+    True
     """
     from repro.service import IntegrationService, JobSpec
 
@@ -388,6 +446,7 @@ def serve_jobs(
         service = IntegrationService(
             max_concurrent=max_concurrent, backend=backend, cache=cache,
             cache_entries=cache_entries, chunk_budget=chunk_budget,
+            shards=shards,
         )
     try:
         handles = service.submit_many(parsed)

@@ -18,6 +18,15 @@ Built-in backends
     Chunk-parallel NumPy on an ``N``-wide thread pool (default: one per
     host CPU).  Bit-identical to ``"numpy"``: the chunk decomposition
     and per-chunk arithmetic are unchanged; only the schedule differs.
+``"process"`` / ``"process:<N>"``
+    Chunk-parallel NumPy on an ``N``-wide **process** pool — real
+    multi-core scaling with no GIL in the way.  Workers receive picklable
+    chunk specs (catalogue integrand spec or pickled callable, bounds
+    slices), rebuild the rule tensors once per worker, and return result
+    arrays that the parent stitches in deterministic chunk order; on the
+    same chunk decomposition results are bit-identical to ``"numpy"``.
+    Unshippable integrands (closures) degrade to in-process serial
+    execution with unchanged numerics.  See :mod:`repro.backends.process`.
 ``"cupy"``
     Real-GPU execution through CuPy.  Import-guarded: selecting it on a
     host without CuPy/CUDA raises
@@ -76,6 +85,11 @@ from typing import Callable, Dict, List, Optional, Union
 from repro.backends.base import ArrayBackend, BackendUnavailableError
 from repro.backends.cupy_backend import CupyBackend, cupy_available
 from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.process import (
+    ProcessNumpyBackend,
+    WorkerCrashError,
+    process_pool_available,
+)
 from repro.backends.threaded import ThreadedNumpyBackend
 
 __all__ = [
@@ -83,10 +97,13 @@ __all__ = [
     "BackendUnavailableError",
     "NumpyBackend",
     "ThreadedNumpyBackend",
+    "ProcessNumpyBackend",
+    "WorkerCrashError",
     "CupyBackend",
     "BackendSpec",
     "register_backend",
     "get_backend",
+    "new_backend",
     "available_backends",
 ]
 
@@ -116,12 +133,40 @@ def register_backend(
         _INSTANCES.pop(key)
 
 
+#: pool backends accepting a ``<name>:<N>`` width suffix
+_WIDTH_FACTORIES: Dict[str, Callable[[int], ArrayBackend]] = {
+    "threaded": lambda width: ThreadedNumpyBackend(num_threads=width),
+    "process": lambda width: ProcessNumpyBackend(num_workers=width),
+}
+
+
+def _build_backend(spec: str) -> ArrayBackend:
+    """Construct a *fresh* backend instance from a name spec."""
+    from repro.errors import ConfigurationError
+
+    name, _, arg = spec.partition(":")
+    if name in _WIDTH_FACTORIES and arg:
+        try:
+            width = int(arg)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad worker count in backend spec {spec!r}"
+            ) from None
+        return _WIDTH_FACTORIES[name](width)
+    if name not in _FACTORIES or arg:
+        raise ConfigurationError(
+            f"unknown backend {spec!r}; known backends: {sorted(_FACTORIES)}"
+        )
+    return _FACTORIES[name]()
+
+
 def get_backend(spec: BackendSpec = None) -> ArrayBackend:
     """Resolve a backend spec to a (shared) backend instance.
 
     ``None`` and ``"numpy"`` return the reference backend;
-    ``"threaded:<N>"`` builds an ``N``-thread pool; instances pass
-    through untouched.  Unknown names raise
+    ``"threaded:<N>"`` / ``"process:<N>"`` build an ``N``-wide pool
+    (cached per width so repeated resolutions share one executor);
+    instances pass through untouched.  Unknown names raise
     :class:`~repro.errors.ConfigurationError`; known-but-unusable
     backends (e.g. ``"cupy"`` without CUDA) raise
     :class:`BackendUnavailableError`.
@@ -136,26 +181,31 @@ def get_backend(spec: BackendSpec = None) -> ArrayBackend:
         raise ConfigurationError(
             f"backend must be a name or ArrayBackend instance, got {spec!r}"
         )
-    name, _, arg = spec.partition(":")
-    if name == "threaded" and arg:
-        try:
-            width = int(arg)
-        except ValueError:
-            raise ConfigurationError(
-                f"bad thread count in backend spec {spec!r}"
-            ) from None
-        # Cache per width so repeated resolutions share one thread pool
-        # instead of leaking a fresh executor per integrator construction.
-        if spec not in _INSTANCES:
-            _INSTANCES[spec] = ThreadedNumpyBackend(num_threads=width)
-        return _INSTANCES[spec]
-    if name not in _FACTORIES or arg:
+    if spec not in _INSTANCES:
+        _INSTANCES[spec] = _build_backend(spec)
+    return _INSTANCES[spec]
+
+
+def new_backend(spec: BackendSpec = None) -> ArrayBackend:
+    """Build a **fresh, unshared** backend instance from a spec.
+
+    :func:`get_backend` shares one instance per spec string so casual
+    resolutions reuse one executor; callers that need *isolated*
+    instances — the sharded service pins one backend (and its pool) per
+    shard — construct through this instead.  Instances pass through
+    untouched, like :func:`get_backend`.
+    """
+    from repro.errors import ConfigurationError
+
+    if spec is None:
+        spec = "numpy"
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if not isinstance(spec, str):
         raise ConfigurationError(
-            f"unknown backend {spec!r}; known backends: {sorted(_FACTORIES)}"
+            f"backend must be a name or ArrayBackend instance, got {spec!r}"
         )
-    if name not in _INSTANCES:
-        _INSTANCES[name] = _FACTORIES[name]()
-    return _INSTANCES[name]
+    return _build_backend(spec)
 
 
 def available_backends() -> List[str]:
@@ -165,4 +215,5 @@ def available_backends() -> List[str]:
 
 register_backend("numpy", NumpyBackend)
 register_backend("threaded", ThreadedNumpyBackend)
+register_backend("process", ProcessNumpyBackend, available=process_pool_available)
 register_backend("cupy", CupyBackend, available=cupy_available)

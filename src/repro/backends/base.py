@@ -68,6 +68,14 @@ class ArrayBackend(abc.ABC):
     #: from many small cache-sized chunks declare their tuned grain here.
     preferred_batch_chunk_budget: Optional[int] = None
 
+    #: backends that execute chunks in *other processes* set this True;
+    #: the evaluate sweep then attaches a picklable chunk spec to every
+    #: task whose integrand can be shipped (see
+    #: :func:`repro.cubature.evaluation.shippable_integrand`), alongside
+    #: the ordinary in-process thunk.  Host/thread/device backends leave
+    #: it False and pay nothing.
+    wants_chunk_specs: bool = False
+
     # -- array namespace & movement ------------------------------------
     @property
     @abc.abstractmethod

@@ -77,6 +77,40 @@ class BatchMemberError(RuntimeError):
 FUSED_CHUNK_BUDGET = ThreadedNumpyBackend.preferred_batch_chunk_budget
 
 
+class _GuardedTask:
+    """Per-member isolation wrapper around one evaluation chunk task.
+
+    Captures ordinary exceptions into the scheduler's per-round failure
+    map instead of letting them abort the fused submission
+    (``Exception``, not ``BaseException``: a ``KeyboardInterrupt`` inside
+    a thunk must interrupt the batch, not masquerade as an integrand
+    bug).  The wrapper is transparent to the process backend's
+    remote-chunk protocol: it forwards the wrapped task's ``remote_spec``
+    and guards ``complete_remote`` the same way, so a remote integrand
+    failure is isolated to its member exactly like a local one.
+    """
+
+    __slots__ = ("_task", "_member", "_failures", "remote_spec")
+
+    def __init__(self, task, member: int, failures: "Dict[int, BaseException]"):
+        self._task = task
+        self._member = member
+        self._failures = failures
+        self.remote_spec = getattr(task, "remote_spec", None)
+
+    def __call__(self) -> None:
+        try:
+            self._task()
+        except Exception as exc:
+            self._failures.setdefault(self._member, exc)
+
+    def complete_remote(self, result=None, error=None) -> None:
+        try:
+            self._task.complete_remote(result=result, error=error)
+        except Exception as exc:
+            self._failures.setdefault(self._member, exc)
+
+
 class _RetiredRun:
     """Tombstone for a retired member: finished, memoryless, resultless."""
 
@@ -306,15 +340,7 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
     def _guard(self, task: Callable[[], None], member: int):
-        # Exception, not BaseException: a KeyboardInterrupt inside a thunk
-        # must interrupt the batch, not masquerade as an integrand bug.
-        def run() -> None:
-            try:
-                task()
-            except Exception as exc:
-                self._thunk_failures.setdefault(member, exc)
-
-        return run
+        return _GuardedTask(task, member, self._thunk_failures)
 
     # ------------------------------------------------------------------
     def run(self) -> List[Optional[IntegrationResult]]:

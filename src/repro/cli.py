@@ -77,8 +77,8 @@ def main(argv: Optional[list] = None) -> int:
     run.add_argument(
         "--backend", default="numpy",
         help="execution backend for PAGANI: numpy (default), threaded, "
-        "threaded:<N>, cupy; unavailable backends fall back to numpy "
-        "with a warning",
+        "threaded:<N>, process, process:<N>, cupy; unavailable backends "
+        "fall back to numpy with a warning",
     )
 
     comp = sub.add_parser("compare", help="run all methods on one integrand")
@@ -105,8 +105,8 @@ def main(argv: Optional[list] = None) -> int:
     batch.add_argument(
         "--backend", default="numpy",
         help="shared execution backend for the whole batch (numpy keeps "
-        "results bit-identical to sequential runs; threaded fuses the "
-        "members' evaluation chunks for throughput)",
+        "results bit-identical to sequential runs; threaded/process fuse "
+        "the members' evaluation chunks for throughput)",
     )
     batch.add_argument(
         "--chunk-budget", type=int, default=None,
@@ -129,7 +129,13 @@ def main(argv: Optional[list] = None) -> int:
     )
     serve.add_argument(
         "--backend", default="numpy",
-        help="shared execution backend for every job",
+        help="execution backend spec for every job (each shard resolves "
+        "its own instance)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="independent worker rotations serving the shared queue "
+        "(default 1); each shard pins its own backend instance",
     )
     serve.add_argument(
         "--cache-entries", type=int, default=256,
@@ -261,9 +267,22 @@ def _run_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    # With shards > 1 pass the *spec string* so every shard builds its
+    # own backend instance (own pool); detect the unavailable-backend
+    # fallback by name so a downgraded spec stays downgraded.
+    requested = args.backend.partition(":")[0]
+    backend_arg = (
+        backend
+        if args.shards == 1
+        else (args.backend if backend.name == requested else "numpy")
+    )
     service = IntegrationService(
-        max_concurrent=args.max_concurrent, backend=backend,
+        max_concurrent=args.max_concurrent, backend=backend_arg,
         cache=not args.no_cache, cache_entries=args.cache_entries,
+        shards=args.shards,
     )
     try:
         handles = serve_jobs(specs, service=service)
@@ -309,7 +328,7 @@ def _run_serve(args) -> int:
     n_ok = sum(r.get("converged", False) for r in rows)
     cache = stats.get("cache") or {}
     print(f"\n{n_ok}/{len(rows)} converged on backend {backend.name!r} "
-          f"({stats['rounds']} rotation rounds, "
+          f"x{stats['shards']} shard(s) ({stats['rounds']} rotation rounds, "
           f"{cache.get('hits', 0)} cache hits, "
           f"{stats['coalesced']} coalesced)")
 

@@ -22,7 +22,7 @@ Returned per region:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -99,6 +99,125 @@ def _error_from_estimates(
     raise ValueError(f"unknown error model {model!r}")
 
 
+def compute_chunk(
+    bk,
+    dr,
+    integrand: Callable[[np.ndarray], np.ndarray],
+    c,
+    h,
+    error_model: str,
+) -> Tuple[Any, Any, Any]:
+    """Evaluate one chunk of regions; return ``(estimate, error, axis)``.
+
+    This is the *entire* per-chunk arithmetic of the evaluate sweep, shared
+    verbatim by the in-process chunk thunks and the process-backend
+    workers: both paths call this one function on the same slices with the
+    same backend-resident rule tensors, which is what makes the
+    process backend's remotely-computed results bit-identical to the
+    reference — not merely close.
+
+    ``c`` / ``h`` are the chunk's ``(mc, n)`` center/halfwidth slices on
+    ``bk``'s array type; ``dr`` is the matching
+    :class:`~repro.cubature.rules.DeviceRule`.
+    """
+    mc, n = c.shape
+    p = dr.points.shape[0]
+    need_companions = error_model in ("four_difference", "cascade")
+
+    # (mc, p, n) = c + ref * h  (broadcast over the point axis)
+    pts = c[:, None, :] + dr.points[None, :, :] * h[:, None, :]
+    vals = bk.map_integrand(integrand, pts.reshape(-1, n))
+    vals = vals.reshape(mc, p)
+    vol = np.prod(2.0 * h, axis=1)  # (mc,)
+
+    i7 = vol * (vals @ dr.w7)
+    i5 = vol * (vals @ dr.w5)
+    if need_companions:
+        i3a = vol * (vals @ dr.w3a)
+        i3b = vol * (vals @ dr.w3b)
+        i1 = vol * (vals @ dr.w1)
+        err = _error_from_estimates(i7, i5, i3a, i3b, i1, error_model)
+    else:
+        err = np.abs(i7 - i5)
+
+    # Fourth divided differences per axis:
+    #   D_i = |(f(+λ2 e_i) + f(−λ2 e_i) − 2 f(0))
+    #          − (λ2²/λ3²) (f(+λ3 e_i) + f(−λ3 e_i) − 2 f(0))|
+    f0 = vals[:, 0][:, None]  # (mc, 1)
+    d2 = vals[:, dr.idx2_plus] + vals[:, dr.idx2_minus] - 2.0 * f0
+    d3 = vals[:, dr.idx3_plus] + vals[:, dr.idx3_minus] - 2.0 * f0
+    fourth = np.abs(d2 - FOURTH_DIFF_RATIO * d3)  # (mc, n)
+    axis = np.argmax(fourth, axis=1)
+    return i7, err, axis
+
+
+class ChunkTask:
+    """One evaluate-sweep chunk: a locally-callable thunk, plus — when the
+    integrand can be shipped to another process — a picklable remote spec.
+
+    The chunk-execution contract of :meth:`ArrayBackend.run_chunks` is
+    unchanged: calling the task runs the chunk in-process and writes its
+    disjoint output slices.  Process backends additionally look for
+    ``remote_spec`` (a picklable payload describing the chunk, or ``None``
+    when the integrand is not shippable); after a worker computes the
+    chunk's ``(estimate, error, axis)`` arrays, the backend stitches them
+    through :meth:`complete_remote` in deterministic chunk order.
+    """
+
+    __slots__ = ("_work", "_write", "remote_spec")
+
+    def __init__(
+        self,
+        work: Callable[[], None],
+        write: Optional[Callable[[Tuple[Any, Any, Any]], None]] = None,
+        remote_spec: Optional[Dict[str, Any]] = None,
+    ):
+        self._work = work
+        self._write = write
+        self.remote_spec = remote_spec if write is not None else None
+
+    def __call__(self) -> None:
+        self._work()
+
+    def complete_remote(
+        self,
+        result: Optional[Tuple[Any, Any, Any]] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Stitch a worker-computed chunk result into the output arrays.
+
+        ``error`` re-raises in the caller (the parent process), so a
+        remote integrand failure propagates exactly like a local thunk
+        raising — including through the batch scheduler's per-member
+        isolation guard, which wraps this method.
+        """
+        if error is not None:
+            raise error
+        self._write(result)
+
+
+def shippable_integrand(integrand: Callable) -> Optional[Tuple[str, Any]]:
+    """A picklable reference to ``integrand`` for worker processes.
+
+    Preference order: a catalogue *spec* string (``("spec", "8d-f7")`` —
+    rebuilt per worker via ``named_integrand``, bit-identical by
+    construction because named specs denote one deterministic integrand),
+    else the pickled callable itself (``("pickle", bytes)`` — covers
+    module-level functions and picklable callable objects).  Returns
+    ``None`` for closures/lambdas, which process backends then evaluate
+    in-process as a serial fallback.
+    """
+    spec = getattr(integrand, "spec", None)
+    if isinstance(spec, str):
+        return ("spec", spec)
+    import pickle
+
+    try:
+        return ("pickle", pickle.dumps(integrand))
+    except Exception:
+        return None
+
+
 def evaluate_regions(
     rule: GenzMalikRule,
     centers: np.ndarray,
@@ -165,56 +284,48 @@ def evaluate_regions(
     error = out_error if out_error is not None else xp.empty(m)
     axis = out_axis if out_axis is not None else xp.empty(m, dtype=np.int64)
 
-    need_companions = error_model in ("four_difference", "cascade")
     chunk = max(1, int(chunk_budget // (p * n)))
     # Backend-resident rule tensors, built once per (backend, ndim) pair
     # and shared process-wide (see RuleCache): accelerator backends upload
     # the point set and weights a single time instead of per sweep.
     dr = RULE_CACHE.device_rule(rule, bk)
-    pts_ref = dr.points  # (p, n)
-    w7 = dr.w7
-    w5 = dr.w5
-    w3a = dr.w3a
-    w3b = dr.w3b
-    w1 = dr.w1
-    idx2p = dr.idx2_plus
-    idx2m = dr.idx2_minus
-    idx3p = dr.idx3_plus
-    idx3m = dr.idx3_minus
 
-    def chunk_task(lo: int, hi: int):
+    # Process backends execute chunks in worker processes when the
+    # integrand can be shipped (catalogue spec or picklable callable);
+    # workers rebuild the rule tensors from the ndim alone.
+    integrand_ref = (
+        shippable_integrand(integrand)
+        if getattr(bk, "wants_chunk_specs", False)
+        else None
+    )
+
+    def chunk_task(lo: int, hi: int) -> ChunkTask:
         def work() -> None:
-            c = centers[lo:hi]  # (mc, n)
-            h = halfwidths[lo:hi]
-            # (mc, p, n) = c + ref * h  (broadcast over the point axis)
-            pts = c[:, None, :] + pts_ref[None, :, :] * h[:, None, :]
-            vals = bk.map_integrand(integrand, pts.reshape(-1, n))
-            vals = vals.reshape(hi - lo, p)
-            vol = np.prod(2.0 * h, axis=1)  # (mc,)
-
-            i7 = vol * (vals @ w7)
-            i5 = vol * (vals @ w5)
+            i7, err, ax = compute_chunk(
+                bk, dr, integrand, centers[lo:hi], halfwidths[lo:hi],
+                error_model,
+            )
             estimate[lo:hi] = i7
-            if need_companions:
-                i3a = vol * (vals @ w3a)
-                i3b = vol * (vals @ w3b)
-                i1 = vol * (vals @ w1)
-                error[lo:hi] = _error_from_estimates(
-                    i7, i5, i3a, i3b, i1, error_model
-                )
-            else:
-                error[lo:hi] = np.abs(i7 - i5)
+            error[lo:hi] = err
+            axis[lo:hi] = ax
 
-            # Fourth divided differences per axis:
-            #   D_i = |(f(+λ2 e_i) + f(−λ2 e_i) − 2 f(0))
-            #          − (λ2²/λ3²) (f(+λ3 e_i) + f(−λ3 e_i) − 2 f(0))|
-            f0 = vals[:, 0][:, None]  # (mc, 1)
-            d2 = vals[:, idx2p] + vals[:, idx2m] - 2.0 * f0
-            d3 = vals[:, idx3p] + vals[:, idx3m] - 2.0 * f0
-            fourth = np.abs(d2 - FOURTH_DIFF_RATIO * d3)  # (mc, n)
-            axis[lo:hi] = np.argmax(fourth, axis=1)
+        if integrand_ref is None:
+            return ChunkTask(work)
 
-        return work
+        def write(res: Tuple[Any, Any, Any]) -> None:
+            i7, err, ax = res
+            estimate[lo:hi] = i7
+            error[lo:hi] = err
+            axis[lo:hi] = ax
+
+        remote_spec = {
+            "integrand": integrand_ref,
+            "ndim": n,
+            "error_model": error_model,
+            "centers": centers[lo:hi],
+            "halfwidths": halfwidths[lo:hi],
+        }
+        return ChunkTask(work, write=write, remote_spec=remote_spec)
 
     tasks = [chunk_task(lo, min(lo + chunk, m)) for lo in range(0, m, chunk)]
     result = EvaluationResult(

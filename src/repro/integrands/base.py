@@ -48,6 +48,12 @@ class Integrand:
     sign_definite: bool = True
     #: free-form notes (e.g. provenance of the reference value)
     notes: str = field(default="", repr=False)
+    #: canonical catalogue spec (e.g. ``"8d-f7"``) when this integrand
+    #: came from :func:`repro.integrands.catalog.named_integrand`.  The
+    #: process backend ships this string to worker processes, which
+    #: rebuild the (deterministic) integrand locally; integrands without
+    #: a spec fall back to pickling the callable.
+    spec: Optional[str] = field(default=None, repr=False)
 
     def __call__(self, points: np.ndarray) -> np.ndarray:
         return self.fn(points)
@@ -61,6 +67,7 @@ class Integrand:
             flops_per_eval=self.flops_per_eval,
             sign_definite=self.sign_definite,
             notes=self.notes,
+            spec=self.spec,
         )
 
 

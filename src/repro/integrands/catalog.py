@@ -68,9 +68,20 @@ def canonical_spec(spec: str) -> str:
 
 
 def named_integrand(spec: str) -> Integrand:
-    """Resolve names like ``8D-f7``, ``5D-f4`` or ``6D-genz-gaussian``."""
-    parts = canonical_spec(spec).split("-")
+    """Resolve names like ``8D-f7``, ``5D-f4`` or ``6D-genz-gaussian``.
+
+    The returned :class:`~repro.integrands.base.Integrand` carries the
+    canonical spec in its ``spec`` attribute — the stable identity the
+    result cache fingerprints and the process backend ships to worker
+    processes (a spec denotes *one* deterministic integrand, so a worker
+    rebuilding it computes identical bits).
+    """
+    canonical = canonical_spec(spec)
+    parts = canonical.split("-")
     ndim = int(parts[0][:-1])
     if parts[1] == "genz":
-        return make_genz(GenzFamily(parts[2]), ndim)
-    return FACTORIES[parts[1]](ndim)
+        integrand = make_genz(GenzFamily(parts[2]), ndim)
+    else:
+        integrand = FACTORIES[parts[1]](ndim)
+    integrand.spec = canonical
+    return integrand

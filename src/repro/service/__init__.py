@@ -15,14 +15,33 @@ rather than running one batch:
     Content-addressed LRU :class:`ResultCache`; hits replay the stored
     :class:`~repro.core.result.IntegrationResult` bit-for-bit.
 :mod:`repro.service.service`
-    :class:`IntegrationService` — the worker loop admitting up to
-    ``max_concurrent`` jobs into a weighted (priority-proportional)
-    batch rotation, with in-flight request coalescing.
+    :class:`IntegrationService` — ``shards`` worker loops (one by
+    default), each admitting up to ``max_concurrent`` jobs into a
+    weighted (priority-proportional) batch rotation pinned to its own
+    backend instance, with in-flight request coalescing across shards.
 :mod:`repro.service.aio`
     ``asyncio`` wrapper (:class:`AsyncIntegrationService`).
 
+Jobs are :class:`JobSpec` requests and resolve through future-like
+:class:`JobHandle` objects; duplicates are served from the cache or
+coalesce onto the in-flight twin:
+
+>>> from repro.service import IntegrationService, JobSpec
+>>> with IntegrationService(max_concurrent=2, shards=2) as svc:
+...     first = svc.submit("3D-f4", rel_tol=1e-3, priority=4)
+...     estimate = first.result(timeout=300).estimate   # runs to completion
+...     duplicate = svc.submit_spec(JobSpec("3D-f4", rel_tol=1e-3))
+...     done = svc.wait_all(timeout=300)
+>>> done, first.status.value, duplicate.status.value
+(True, 'done', 'done')
+>>> duplicate.cache_hit                    # warm cache: no second run
+True
+>>> duplicate.result().estimate == estimate  # replay is bit-identical
+True
+
 See ``docs/service.md`` for the job model, the cache fingerprint
-contract and the priority semantics, and ``pagani-repro serve`` /
+contract and the priority semantics, ``docs/architecture.md`` for where
+the layer sits, and ``pagani-repro serve`` /
 ``benchmarks/harness.py --service`` for the CLI and benchmark surfaces.
 """
 

@@ -1,31 +1,45 @@
-"""The integration service: queue → cache → weighted batch rotation.
+"""The integration service: queue → cache → sharded weighted rotations.
 
 :class:`IntegrationService` turns the batch runner into a traffic-serving
-system.  One background worker thread drives a single long-lived
-:class:`~repro.batch.BatchScheduler` rotation:
+system.  ``shards`` worker threads (one by default) each drive their own
+long-lived :class:`~repro.batch.BatchScheduler` rotation pinned to their
+own execution-backend instance, all pulling from one shared
+:class:`~repro.service.queue.JobQueue` and one shared
+:class:`~repro.service.cache.ResultCache`:
 
-* **admission** — whenever fewer than ``max_concurrent`` runs are live,
-  the worker pops the most-urgent queued job (see
+* **admission** — whenever a shard has fewer than ``max_concurrent``
+  live runs, it pops the most-urgent queued job (see
   :mod:`repro.service.queue`).  A job whose fingerprint is cached
   completes instantly with a bit-identical replay; a job whose
-  fingerprint matches an *in-flight* run coalesces onto it (no second
-  run, no extra slot — the classic cache-stampede fix); everything else
-  starts a fresh :class:`~repro.core.pagani.PaganiRun` and joins the
-  rotation.
+  fingerprint matches an *in-flight* run — on any shard — coalesces onto
+  it (no second run, no extra slot — the classic cache-stampede fix);
+  everything else starts a fresh :class:`~repro.core.pagani.PaganiRun`
+  and joins the admitting shard's rotation.
 * **weighted rotation** — each scheduler round serves the live members
   whose accumulated credit reaches the round threshold (credit grows by
   the job's priority), so a priority-``2p`` job is served iterations
   twice as often as a priority-``p`` one and, for equal work, finishes
   first.  Every round still fuses the served members' evaluation chunks
   into one backend submission.
-* **completion** — converged runs leave the rotation, populate the
-  cache, and resolve their handle (and any coalesced followers).
+* **completion** — converged runs leave their rotation, populate the
+  shared cache, and resolve their handle (and any coalesced followers).
+
+Sharding (``shards=K``) multiplies the rotations, not the semantics:
+every shard resolves the *same* backend spec, so fingerprints — which
+hash the backend name and chunk grain — are shard-independent and cache
+hits stay bit-for-bit regardless of which shard computed the entry.
+Pair ``shards=K`` with a per-shard parallel backend (``"process"``)
+only when the host has cores to spare; on a small host prefer one shard
+with one wide pool.
 
 Thread model: clients call ``submit``/``cancel``/``result`` from any
-thread; all scheduler and cache-write activity happens on the worker
-thread.  The service survives integrand failures (the failing job's
-handle carries the exception; the rotation continues) and is explicitly
-shut down with :meth:`IntegrationService.shutdown` or a ``with`` block.
+thread; scheduler and cache-write activity happens on the shard worker
+threads, and every structure shared across shards (the in-flight
+fingerprint map, member/follower tables, counters) is only mutated under
+the service condition lock.  The service survives integrand failures
+(the failing job's handle carries the exception; the rotation continues)
+and is explicitly shut down with :meth:`IntegrationService.shutdown` or
+a ``with`` block.
 """
 
 from __future__ import annotations
@@ -33,11 +47,11 @@ from __future__ import annotations
 import copy
 import threading
 from concurrent.futures import CancelledError
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.backends import BackendSpec, get_backend
+from repro.backends import ArrayBackend, BackendSpec, get_backend, new_backend
 from repro.batch import BatchMemberError, BatchScheduler
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.errors import ConfigurationError
@@ -55,17 +69,55 @@ class ServiceClosedError(RuntimeError):
     """Submission after :meth:`IntegrationService.shutdown`."""
 
 
+class _Shard:
+    """One worker rotation: a scheduler pinned to one backend instance.
+
+    All tables are keyed by the shard-local scheduler member index.
+    ``members``/``followers``/``weights``/``member_fp`` are read and
+    written across threads (stats, cross-shard coalescing) and are only
+    touched under the service condition lock; ``credits``/``resolved``
+    are private to the owning worker thread.
+    """
+
+    __slots__ = (
+        "index", "backend", "scheduler", "members", "resolved", "weights",
+        "credits", "followers", "member_fp", "thread",
+    )
+
+    def __init__(self, index: int, backend: ArrayBackend):
+        self.index = index
+        self.backend = backend
+        self.scheduler = BatchScheduler(backend=backend)
+        self.members: Dict[int, JobHandle] = {}
+        self.resolved: Dict[int, ResolvedJob] = {}
+        self.weights: Dict[int, int] = {}
+        self.credits: Dict[int, float] = {}
+        self.followers: Dict[int, List[JobHandle]] = {}
+        self.member_fp: Dict[int, str] = {}
+        self.thread: Optional[threading.Thread] = None
+
+
 class IntegrationService:
     """Accepts, schedules, caches and executes integration jobs.
 
     Parameters
     ----------
     max_concurrent:
-        Live runs admitted into the rotation at once.  Queued jobs wait
-        in priority order for a slot; cache hits and coalesced jobs do
-        not consume slots.
+        Live runs admitted into *each shard's* rotation at once (so at
+        most ``shards * max_concurrent`` runs are live).  Queued jobs
+        wait in priority order for a slot; cache hits and coalesced jobs
+        do not consume slots.
     backend:
-        Shared execution backend for every run (spec or instance).
+        Execution backend for every run (spec or instance).  With
+        ``shards > 1`` a *spec string* gives every shard its own fresh
+        backend instance (its own pool — this is what lets shards
+        execute truly concurrently); a shared :class:`ArrayBackend`
+        instance is honoured but serialises the shards on one pool.
+    shards:
+        Number of worker rotations (default 1 — the pre-sharding
+        behaviour, byte for byte).  Each shard owns one
+        :class:`~repro.batch.BatchScheduler` and one backend instance;
+        all shards pull from the shared queue and cache.
     cache:
         ``True`` (default) builds a :class:`ResultCache` of
         ``cache_entries`` slots; ``False`` disables caching; an existing
@@ -106,14 +158,27 @@ class IntegrationService:
         chunk_budget: Optional[int] = None,
         collect_traces: bool = False,
         history_limit: Optional[int] = None,
+        shards: int = 1,
     ):
         if max_concurrent < 1:
             raise ConfigurationError("max_concurrent must be >= 1")
+        if shards < 1:
+            raise ConfigurationError("shards must be >= 1")
         if history_limit is not None and history_limit < 0:
             raise ConfigurationError("history_limit must be >= 0 or None")
         self.history_limit = history_limit
         self.max_concurrent = int(max_concurrent)
-        self.backend = get_backend(backend)
+        if shards == 1 or isinstance(backend, ArrayBackend):
+            # One shard keeps the classic shared-instance resolution; an
+            # explicit instance is shared across shards by request.
+            # Neither is owned by this service (shared/caller-owned), so
+            # shutdown must not close them.
+            shard_backends = [get_backend(backend)] * shards
+            self._owned_backends: List[ArrayBackend] = []
+        else:
+            shard_backends = [new_backend(backend) for _ in range(shards)]
+            self._owned_backends = list(shard_backends)
+        self.backend = shard_backends[0]
         if isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
         elif cache:
@@ -126,19 +191,12 @@ class IntegrationService:
         self.collect_traces = collect_traces
 
         self._queue = JobQueue()
-        self._scheduler = BatchScheduler(backend=self.backend)
         self._cond = threading.Condition()
         self._stopping = False
         self._worker_error: Optional[BaseException] = None
 
-        # Worker-thread state: member index -> bookkeeping.
-        self._members: Dict[int, JobHandle] = {}
-        self._resolved: Dict[int, ResolvedJob] = {}
-        self._weights: Dict[int, int] = {}
-        self._credits: Dict[int, float] = {}
-        self._followers: Dict[int, List[JobHandle]] = {}
-        self._member_fp: Dict[int, str] = {}
-        self._inflight: Dict[str, int] = {}
+        #: fingerprint -> (shard, member index) of the in-flight primary
+        self._inflight: Dict[str, Tuple[_Shard, int]] = {}
         self._rounds = 0
         self._coalesced = 0
         self._completion_counter = 0
@@ -146,14 +204,25 @@ class IntegrationService:
         self._handles: List[JobHandle] = []
         self._pruned_by_status = {status.value: 0 for status in JobStatus}
         self._next_id = 0
-        self._worker = threading.Thread(
-            target=self._run_loop, name="integration-service", daemon=True
-        )
-        self._worker.start()
+
+        self._shards = [
+            _Shard(i, bk) for i, bk in enumerate(shard_backends)
+        ]
+        for shard in self._shards:
+            shard.thread = threading.Thread(
+                target=self._run_loop, args=(shard,),
+                name=f"integration-service-{shard.index}", daemon=True,
+            )
+            shard.thread.start()
 
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        """Number of worker rotations serving the queue."""
+        return len(self._shards)
+
     def submit(
         self,
         integrand: Union[str, Callable[[np.ndarray], np.ndarray]],
@@ -222,10 +291,11 @@ class IntegrationService:
             handles = list(self._handles)
             rounds = self._rounds
             coalesced = self._coalesced
-            running = len(self._members) + sum(
-                len(f) for f in self._followers.values()
+            running = sum(
+                len(shard.members)
+                + sum(len(f) for f in shard.followers.values())
+                for shard in self._shards
             )
-        with self._cond:
             by_status = dict(self._pruned_by_status)
         n_pruned = sum(by_status.values())
         for h in handles:
@@ -239,13 +309,14 @@ class IntegrationService:
             "coalesced": coalesced,
             "max_concurrent": self.max_concurrent,
             "backend": self.backend.name,
+            "shards": len(self._shards),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop accepting jobs; optionally drop the still-queued ones.
 
-        With ``wait=True`` (default) blocks until the worker drained
+        With ``wait=True`` (default) blocks until the workers drained
         everything already submitted — running jobs always finish,
         queued jobs finish unless ``cancel_pending``.
         """
@@ -258,7 +329,16 @@ class IntegrationService:
             with self._cond:
                 self._cond.notify_all()
         if wait:
-            self._worker.join()
+            for shard in self._shards:
+                shard.thread.join()
+            # Release the pools of backends this service built (fresh
+            # per-shard instances); shared/caller-owned backends are
+            # untouched.  close() is idempotent, so repeated shutdowns
+            # are safe.
+            for bk in self._owned_backends:
+                close = getattr(bk, "close", None)
+                if close is not None:
+                    close()
 
     def __enter__(self) -> "IntegrationService":
         return self
@@ -267,27 +347,35 @@ class IntegrationService:
         self.shutdown(wait=True)
 
     # ------------------------------------------------------------------
-    # Worker loop
+    # Worker loop (one thread per shard)
     # ------------------------------------------------------------------
-    def _run_loop(self) -> None:
+    def _run_loop(self, shard: _Shard) -> None:
         try:
             while True:
                 with self._cond:
                     while (
                         not self._stopping
+                        and self._worker_error is None
                         and len(self._queue) == 0
-                        and not self._members
+                        and not shard.members
                     ):
                         self._cond.wait()
+                    if self._worker_error is not None:
+                        # A sibling shard died: abandon this shard's live
+                        # runs (their handles were already failed) and
+                        # stop serving.
+                        for index in list(shard.members):
+                            shard.scheduler.abandon_member(index)
+                        return
                     if (
                         self._stopping
                         and len(self._queue) == 0
-                        and not self._members
+                        and not shard.members
                     ):
                         return
-                self._process_cancellations()
-                self._admit()
-                self._serve_round()
+                self._process_cancellations(shard)
+                self._admit(shard)
+                self._serve_round(shard)
                 self._prune_history()
         except BaseException as exc:  # the rotation must never die silently
             self._die(exc)
@@ -296,7 +384,7 @@ class IntegrationService:
         """Drop the oldest terminal handles beyond ``history_limit``.
 
         Amortised: runs only once the retained list exceeds twice the
-        limit, so the worker does not rescan history every round.
+        limit, so the workers do not rescan history every round.
         """
         limit = self.history_limit
         if limit is None:
@@ -320,14 +408,15 @@ class IntegrationService:
         with self._cond:
             self._worker_error = exc
             self._stopping = True
+            self._cond.notify_all()
         for handle in self.jobs():
             if not handle.done:
                 handle._complete(JobStatus.FAILED, exception=exc)
 
     # ------------------------------------------------------------------
-    def _admit(self) -> None:
-        """Fill free rotation slots from the queue (cache/coalesce first)."""
-        while len(self._members) < self.max_concurrent:
+    def _admit(self, shard: _Shard) -> None:
+        """Fill the shard's free rotation slots (cache/coalesce first)."""
+        while len(shard.members) < self.max_concurrent:
             handle = self._queue.pop()
             if handle is None:
                 return
@@ -360,27 +449,33 @@ class IntegrationService:
                     handle.stats.cache_hit = True
                     self._finish(handle, JobStatus.DONE, result=cached)
                     continue
-                twin = self._inflight.get(fingerprint)
-                if twin is not None:
-                    handle.stats.cache_hit = True
-                    handle.stats.coalesced_with = self._members[twin].job_id
-                    self._followers[twin].append(handle)
-                    # The shared run now serves this job too: it must
-                    # rotate at the *most urgent* attached priority, or
-                    # a high-priority duplicate would crawl at its
-                    # twin's rate.
-                    self._weights[twin] = max(
-                        self._weights[twin], spec.priority
-                    )
-                    with self._cond:
+                # Cross-shard coalescing: the in-flight map and the
+                # twin's follower/weight tables only change under the
+                # condition lock, so the twin cannot finish (and drain
+                # its followers) between the lookup and the append.
+                with self._cond:
+                    twin = self._inflight.get(fingerprint)
+                    if twin is not None:
+                        twin_shard, twin_index = twin
+                        twin_handle = twin_shard.members[twin_index]
+                        handle.stats.cache_hit = True
+                        handle.stats.coalesced_with = twin_handle.job_id
+                        twin_shard.followers[twin_index].append(handle)
+                        # The shared run now serves this job too: it must
+                        # rotate at the *most urgent* attached priority,
+                        # or a high-priority duplicate would crawl at its
+                        # twin's rate.
+                        twin_shard.weights[twin_index] = max(
+                            twin_shard.weights[twin_index], spec.priority
+                        )
                         self._coalesced += 1
-                    continue
+                        continue
 
             cfg = PaganiConfig(
                 rel_tol=spec.rel_tol,
                 abs_tol=spec.abs_tol,
                 relerr_filtering=resolved.relerr_filtering,
-                backend=self.backend,
+                backend=shard.backend,
                 chunk_budget=self.chunk_budget,
             )
             if spec.max_iterations is not None:
@@ -393,87 +488,98 @@ class IntegrationService:
             except Exception as exc:
                 self._finish(handle, JobStatus.FAILED, exception=exc)
                 continue
-            index = self._scheduler.add(run)
-            # _members/_followers are read by stats() from client threads;
-            # every structural mutation happens under the condition lock.
+            index = shard.scheduler.add(run)
+            # Member/follower tables are read by stats() and sibling
+            # shards; every structural mutation happens under the lock.
             with self._cond:
-                self._members[index] = handle
-                self._followers[index] = []
-            self._resolved[index] = resolved
-            self._weights[index] = spec.priority
-            self._credits[index] = 0.0
-            if fingerprint is not None:
-                self._member_fp[index] = fingerprint
-                self._inflight[fingerprint] = index
+                shard.members[index] = handle
+                shard.followers[index] = []
+                shard.weights[index] = spec.priority
+                if fingerprint is not None:
+                    shard.member_fp[index] = fingerprint
+                    self._inflight[fingerprint] = (shard, index)
+            shard.resolved[index] = resolved
+            shard.credits[index] = 0.0
 
     # ------------------------------------------------------------------
-    def _serve_round(self) -> None:
-        """One weighted rotation round over the live members."""
-        live = sorted(self._members)
+    def _serve_round(self, shard: _Shard) -> None:
+        """One weighted rotation round over the shard's live members."""
+        with self._cond:
+            live = sorted(shard.members)
+            weights = {i: shard.weights[i] for i in live}
         if not live:
             return
         # Weighted round-robin: credit grows by priority; members at the
         # threshold are served and pay it back.  The highest-priority
         # member is served every round; a priority-p member every
         # ceil(w_max / p) rounds — service rate ∝ priority.
-        w_max = max(self._weights[i] for i in live)
+        w_max = max(weights[i] for i in live)
         serve = []
         for i in live:
-            self._credits[i] += self._weights[i]
-            if self._credits[i] >= w_max:
-                self._credits[i] -= w_max
+            shard.credits[i] += weights[i]
+            if shard.credits[i] >= w_max:
+                shard.credits[i] -= w_max
                 serve.append(i)
 
         failures: Dict[int, BaseException] = {}
         try:
-            self._scheduler.run_round(only=serve)
+            shard.scheduler.run_round(only=serve)
         except BatchMemberError as exc:
             failures = exc.failures
         with self._cond:
             self._rounds += 1
         for i in serve:
-            handle = self._members.get(i)
+            handle = shard.members.get(i)
             if handle is None:
                 continue
             handle.stats.rounds_served += 1
             if i in failures:
-                self._finish_member(i, error=failures[i])
-            elif self._scheduler.member(i).finished:
-                self._finish_member(i)
+                self._finish_member(shard, i, error=failures[i])
+            elif shard.scheduler.member(i).finished:
+                self._finish_member(shard, i)
 
     # ------------------------------------------------------------------
-    def _process_cancellations(self) -> None:
-        """Apply pending cancel requests to running members/followers."""
-        for index in list(self._members):
-            handle = self._members[index]
+    def _process_cancellations(self, shard: _Shard) -> None:
+        """Apply pending cancel requests to the shard's members/followers."""
+        for index in list(shard.members):
+            handle = shard.members[index]
             if handle.cancel_requested and not handle.done:
-                self._scheduler.abandon_member(index)
-                self._finish_member(index, cancelled=True)
-        for index, followers in list(self._followers.items()):
-            for follower in list(followers):
-                if follower.cancel_requested and not follower.done:
-                    followers.remove(follower)
-                    follower._complete(
-                        JobStatus.CANCELLED, exception=CancelledError()
-                    )
+                shard.scheduler.abandon_member(index)
+                self._finish_member(shard, index, cancelled=True)
+        cancelled_followers = []
+        with self._cond:
+            for followers in shard.followers.values():
+                for follower in list(followers):
+                    if follower.cancel_requested and not follower.done:
+                        followers.remove(follower)
+                        cancelled_followers.append(follower)
+        for follower in cancelled_followers:
+            follower._complete(JobStatus.CANCELLED, exception=CancelledError())
 
     # ------------------------------------------------------------------
     def _finish_member(
         self,
+        shard: _Shard,
         index: int,
         error: Optional[BaseException] = None,
         cancelled: bool = False,
     ) -> None:
         """Retire rotation member ``index`` and resolve its handles."""
+        if error is None and not cancelled:
+            self._finish_member_done(shard, index)
+            return
         with self._cond:
-            handle = self._members.pop(index)
-            followers = self._followers.pop(index)
-        resolved = self._resolved.pop(index)
-        self._weights.pop(index)
-        self._credits.pop(index)
-        fingerprint = self._member_fp.pop(index, None)
-        if fingerprint is not None:
-            self._inflight.pop(fingerprint, None)
+            handle = shard.members.pop(index)
+            followers = shard.followers.pop(index)
+            shard.weights.pop(index)
+            fingerprint = shard.member_fp.pop(index, None)
+            if (
+                fingerprint is not None
+                and self._inflight.get(fingerprint) == (shard, index)
+            ):
+                self._inflight.pop(fingerprint)
+        shard.resolved.pop(index)
+        shard.credits.pop(index)
 
         if cancelled:
             handle._complete(JobStatus.CANCELLED, exception=CancelledError())
@@ -481,30 +587,55 @@ class IntegrationService:
             # result: back to the queue for a fresh slot.  They are no
             # longer being served without recomputation, so the
             # coalescing marks come off before the retry.
+            requeued = False
             for follower in followers:
                 if follower._back_to_queue():
                     follower.stats.cache_hit = False
                     follower.stats.coalesced_with = None
                     self._queue.push(follower)
-            self._scheduler.retire_member(index)
+                    requeued = True
+            if requeued:
+                with self._cond:
+                    self._cond.notify_all()
+            shard.scheduler.retire_member(index)
             return
-        if error is not None:
-            # Deterministic integrand failure: the coalesced twins would
-            # fail identically, so fail them now instead of re-running.
-            self._finish(handle, JobStatus.FAILED, exception=error)
-            for follower in followers:
-                self._finish(follower, JobStatus.FAILED, exception=error)
-            self._scheduler.retire_member(index)
-            return
+        # error is not None: deterministic integrand failure — the
+        # coalesced twins would fail identically, so fail them now
+        # instead of re-running.
+        self._finish(handle, JobStatus.FAILED, exception=error)
+        for follower in followers:
+            self._finish(follower, JobStatus.FAILED, exception=error)
+        shard.scheduler.retire_member(index)
 
-        result = self._scheduler.member(index).result
+    def _finish_member_done(self, shard: _Shard, index: int) -> None:
+        """Successful completion: publish, then drop the member tables.
+
+        The cache write and the in-flight/member removals happen in one
+        locked section so a duplicate admitted on any shard finds either
+        the in-flight entry (and coalesces) or the cache entry (and
+        replays) — never neither.  Followers appended up to the moment
+        the lock is taken are resolved with the result below.
+        """
+        result = shard.scheduler.member(index).result
         # Retire the member immediately: a long-lived rotation must not
         # pin every finished run (and its result/trace) forever.
-        self._scheduler.retire_member(index)
+        shard.scheduler.retire_member(index)
+        resolved = shard.resolved.pop(index)
+        shard.credits.pop(index)
         if resolved.reference is not None:
             result.true_value = resolved.reference
-        if fingerprint is not None and self.cache is not None:
-            self.cache.put(fingerprint, result)
+        with self._cond:
+            fingerprint = shard.member_fp.pop(index, None)
+            if fingerprint is not None and self.cache is not None:
+                self.cache.put(fingerprint, result)
+            handle = shard.members.pop(index)
+            followers = shard.followers.pop(index)
+            shard.weights.pop(index)
+            if (
+                fingerprint is not None
+                and self._inflight.get(fingerprint) == (shard, index)
+            ):
+                self._inflight.pop(fingerprint)
         self._finish(handle, JobStatus.DONE, result=result)
         for follower in followers:
             self._finish(
@@ -513,6 +644,7 @@ class IntegrationService:
 
     def _finish(self, handle: JobHandle, status: JobStatus, **kwargs) -> None:
         if status in (JobStatus.DONE, JobStatus.FAILED):
-            handle.stats.completion_index = self._completion_counter
-            self._completion_counter += 1
+            with self._cond:
+                handle.stats.completion_index = self._completion_counter
+                self._completion_counter += 1
         handle._complete(status, **kwargs)

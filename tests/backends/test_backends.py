@@ -29,10 +29,10 @@ from repro.errors import ConfigurationError
 from repro.integrands.genz import GenzFamily, make_genz
 
 #: every backend we try; unavailable ones skip rather than fail
-ALL_BACKEND_SPECS = ["numpy", "threaded", "threaded:2", "cupy"]
+ALL_BACKEND_SPECS = ["numpy", "threaded", "threaded:2", "process", "process:2", "cupy"]
 
 #: backends sharing NumPy's array library must be bit-identical to it
-EXACT_SPECS = {"numpy", "threaded", "threaded:2"}
+EXACT_SPECS = {"numpy", "threaded", "threaded:2", "process", "process:2"}
 
 
 def _backend_or_skip(spec: str) -> ArrayBackend:
@@ -69,7 +69,22 @@ def test_get_backend_threaded_spec_parses_width():
     assert get_backend("threaded:3").num_threads == 3
 
 
-@pytest.mark.parametrize("spec", ["nope", "threaded:x", "numpy:4", 3.5])
+def test_get_backend_process_spec_parses_width():
+    assert get_backend("process:3").num_workers == 3
+
+
+def test_new_backend_builds_fresh_instances():
+    from repro.backends import new_backend
+
+    a = new_backend("threaded:2")
+    b = new_backend("threaded:2")
+    assert a is not b                      # isolated instances per call
+    assert get_backend("threaded:2") is get_backend("threaded:2")
+    inst = get_backend("numpy")
+    assert new_backend(inst) is inst       # instances pass through
+
+
+@pytest.mark.parametrize("spec", ["nope", "threaded:x", "process:x", "numpy:4", 3.5])
 def test_get_backend_rejects_bad_specs(spec):
     with pytest.raises(ConfigurationError):
         get_backend(spec)

@@ -1,0 +1,226 @@
+"""Process-backend specifics beyond the shared conformance battery.
+
+The generic suite in ``test_backends.py`` already holds ``process`` /
+``process:2`` to the bit-identity contract on closure integrands (which
+exercise the serial in-process fallback).  This module exercises what is
+unique to the process backend: the *remote* chunk path (picklable chunk
+specs evaluated in worker processes), worker failure semantics, pool
+lifecycle, and the graceful fallback for unshippable integrands.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import integrate, integrate_many
+from repro.backends import (
+    BackendUnavailableError,
+    ProcessNumpyBackend,
+    WorkerCrashError,
+    get_backend,
+)
+from repro.batch import BatchMemberError
+from repro.core.pagani import PaganiConfig, PaganiIntegrator
+from repro.cubature.evaluation import evaluate_regions, shippable_integrand
+from repro.cubature.rules import get_rule
+from repro.integrands.catalog import named_integrand
+
+
+def _process_backend(workers: int = 2) -> ProcessNumpyBackend:
+    try:
+        bk = ProcessNumpyBackend(num_workers=workers)
+    except BackendUnavailableError as exc:  # pragma: no cover - sandbox
+        pytest.skip(f"process backend unavailable: {exc}")
+    return bk
+
+
+# ---------------------------------------------------------------------------
+# Shippability
+# ---------------------------------------------------------------------------
+def test_named_integrands_ship_by_spec():
+    f = named_integrand("5D-f4")
+    kind, value = shippable_integrand(f)
+    assert (kind, value) == ("spec", "5d-f4")
+
+
+def test_module_level_callables_ship_by_pickle():
+    kind, _ = shippable_integrand(_sum_integrand)
+    assert kind == "pickle"
+
+
+def test_closures_are_not_shippable():
+    coeff = np.arange(3.0)
+    assert shippable_integrand(lambda x: x @ coeff) is None
+
+
+# ---------------------------------------------------------------------------
+# Remote-path bit-identity
+# ---------------------------------------------------------------------------
+def test_remote_chunks_bit_identical_to_numpy(rng):
+    """Chunks computed in worker processes stitch to the exact numpy bits."""
+    f = named_integrand("3D-f4")
+    ndim = f.ndim
+    rule = get_rule(ndim)
+    m = 64
+    centers = rng.random((m, ndim)) * 0.8 + 0.1
+    halfw = np.full((m, ndim), 0.05)
+    budget = rule.npoints * ndim * 4 * 8  # force ~16 chunks
+    ref = evaluate_regions(
+        rule, centers, halfw, f, error_model="cascade", chunk_budget=budget
+    )
+    bk = _process_backend(2)
+    try:
+        got, tasks = evaluate_regions(
+            rule, centers, halfw, f, error_model="cascade",
+            chunk_budget=budget, backend=bk, defer=True,
+        )
+        assert sum(t.remote_spec is not None for t in tasks) == len(tasks)
+        bk.run_chunks(tasks)
+    finally:
+        bk.close()
+    np.testing.assert_array_equal(got.estimate, ref.estimate)
+    np.testing.assert_array_equal(got.error, ref.error)
+    np.testing.assert_array_equal(got.split_axis, ref.split_axis)
+
+
+def test_end_to_end_integrate_bit_identical_via_remote_path():
+    """Force many shipped chunks per sweep and compare full runs."""
+    f = named_integrand("3D-f4")
+    results = {}
+    for spec in ("numpy", "process:2"):
+        cfg = PaganiConfig(
+            rel_tol=1e-4, max_iterations=12, backend=spec,
+            chunk_budget=200_000,  # same (small) decomposition for both
+        )
+        results[spec] = PaganiIntegrator(cfg).integrate(f, f.ndim)
+    ref, got = results["numpy"], results["process:2"]
+    assert got.estimate == ref.estimate
+    assert got.errorest == ref.errorest
+    assert got.iterations == ref.iterations
+    get_backend("process:2").close()
+
+
+def test_unshippable_integrand_falls_back_and_matches(gaussian3):
+    """A closure integrand cannot ship; results must still match numpy."""
+    ref = integrate(gaussian3, 3, rel_tol=1e-4)
+    got = integrate(gaussian3, 3, rel_tol=1e-4, backend="process:2")
+    assert got.estimate == ref.estimate
+    assert got.errorest == ref.errorest
+
+
+# ---------------------------------------------------------------------------
+# Failure semantics
+# ---------------------------------------------------------------------------
+def _sum_integrand(x):
+    return np.sum(x, axis=1)
+
+
+def _raising_integrand(x):
+    raise ValueError("integrand exploded in a worker")
+
+
+def _crashing_integrand(x):
+    os._exit(13)  # kill the worker process outright, no exception
+
+
+_raising_integrand.ndim = 3
+_crashing_integrand.ndim = 3
+
+
+def _deferred_tasks(bk, integrand):
+    """Small multi-chunk sweep on ``bk`` with every chunk shipped."""
+    rule = get_rule(3)
+    m = 16
+    centers = np.full((m, 3), 0.5)
+    halfw = np.full((m, 3), 0.1)
+    budget = rule.npoints * 3 * 4  # 4 regions per chunk -> 4 chunks
+    _, tasks = evaluate_regions(
+        rule, centers, halfw, integrand, chunk_budget=budget,
+        backend=bk, defer=True,
+    )
+    assert len(tasks) == 4
+    assert all(t.remote_spec is not None for t in tasks)
+    return tasks
+
+
+def test_worker_exception_propagates_like_serial():
+    bk = _process_backend(2)
+    try:
+        with pytest.raises(ValueError, match="exploded in a worker"):
+            bk.run_chunks(_deferred_tasks(bk, _raising_integrand))
+    finally:
+        bk.close()
+
+
+def test_worker_crash_isolated_and_pool_recovers():
+    """A dying worker surfaces WorkerCrashError and does not poison the
+    backend: the next submission rebuilds the pool and succeeds."""
+    bk = _process_backend(2)
+    try:
+        with pytest.raises(WorkerCrashError):
+            bk.run_chunks(_deferred_tasks(bk, _crashing_integrand))
+        assert bk._pool is None  # broken pool was discarded
+        f = named_integrand("3D-f4")
+        ref = integrate(f, 3, rel_tol=1e-3)
+        got = integrate(f, 3, rel_tol=1e-3, backend=bk)
+        assert got.estimate == ref.estimate
+    finally:
+        bk.close()
+
+
+def test_batch_isolates_failing_member_on_process_backend():
+    """One raising member is abandoned; the healthy members complete."""
+    bk = _process_backend(2)
+    try:
+        members = [named_integrand("3D-f4"), _raising_integrand,
+                   named_integrand("3D-f3")]
+        results = integrate_many(
+            members, ndim=3, rel_tol=1e-3, backend=bk,
+            on_member_error="skip",
+        )
+    finally:
+        bk.close()
+    assert results[1] is None
+    assert results[0] is not None and results[0].converged
+    assert results[2] is not None and results[2].converged
+
+
+def test_batch_raise_mode_chains_worker_exception():
+    bk = _process_backend(2)
+    try:
+        with pytest.raises(BatchMemberError) as err:
+            integrate_many(
+                [named_integrand("3D-f4"), _raising_integrand], ndim=3,
+                rel_tol=1e-3, backend=bk,
+            )
+        assert isinstance(err.value.__cause__, ValueError)
+    finally:
+        bk.close()
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle
+# ---------------------------------------------------------------------------
+def test_close_is_idempotent_and_pool_rebuilds():
+    bk = _process_backend(2)
+    f = named_integrand("3D-f4")
+    r1 = integrate(f, 3, rel_tol=1e-3, backend=bk)
+    bk.close()
+    bk.close()  # idempotent
+    assert bk._pool is None
+    r2 = integrate(f, 3, rel_tol=1e-3, backend=bk)  # lazily rebuilt
+    assert r2.estimate == r1.estimate
+    bk.close()
+
+
+def test_width_one_pool_runs_serially():
+    bk = _process_backend(1)
+    try:
+        tasks = _deferred_tasks(bk, named_integrand("3D-f4"))
+        bk.run_chunks(tasks)
+        assert bk._pool is None  # never built a pool
+    finally:
+        bk.close()

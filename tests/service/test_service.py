@@ -294,7 +294,10 @@ def test_finished_members_are_retired():
             svc.submit("3D-f4", rel_tol=1e-3)
         assert svc.wait_all(timeout=300)
         retained = [
-            run for run in svc._scheduler.members if run.has_result
+            run
+            for shard in svc._shards
+            for run in shard.scheduler.members
+            if run.has_result
         ]
     assert retained == []  # every finished member was retired
 

@@ -200,6 +200,78 @@ def test_committed_service_bench_artifact_claims():
     assert data["runs"]["warm_replay"]["all_cache_hits"]
 
 
+def test_process_bench_smoke_roundtrip(tmp_path, capsys):
+    data = hz.run_process_bench(backends=["numpy", "threaded"], smoke=True)
+    assert data["mode"] == "smoke"
+    assert set(data["backends"]) == {"numpy", "threaded"}
+    assert data["n_members"] == len(hz.process_bench_members(smoke=True))
+    assert data["backends"]["numpy"]["speedup_vs_numpy"] == 1.0
+    for spec, d in data["backends"].items():
+        assert d["wall_seconds"] > 0
+        assert d["all_match"], spec
+        for r in d["members"]:
+            assert r["converged"], (spec, r)
+    # no process run requested -> the plain-integrate probe is skipped
+    assert data["plain_integrate_bit_identical"] is None
+
+    path = hz.write_process_bench(data, out=tmp_path / "BENCH_process.json")
+    import json
+
+    loaded = json.loads(path.read_text())
+    assert loaded["suite"] == "pagani-process-bench"
+    hz.print_process_bench(data)
+    out = capsys.readouterr().out
+    assert "vs numpy" in out
+
+
+def test_process_bench_includes_process_backend_when_available():
+    from repro.backends import BackendUnavailableError, new_backend
+
+    try:
+        new_backend("process:2").close()
+    except BackendUnavailableError:
+        pytest.skip("process backend unavailable on this host")
+    data = hz.run_process_bench(backends=["numpy", "process"], smoke=True)
+    assert data["backends"]["process"]["all_match"]
+    assert data["plain_integrate_bit_identical"] is True
+
+
+def test_committed_process_bench_artifact_claims():
+    """The committed BENCH_process.json must evidence the process-backend
+    claims: agreement with the numpy reference everywhere, plain-
+    integrate bit-identity, and the >=3x speedup whenever the recording
+    host had enough cores for the expectation to apply."""
+    import json
+
+    path = hz.RESULTS_DIR / hz.PROCESS_BENCH_FILE
+    data = json.loads(path.read_text())
+    assert data["suite"] == "pagani-process-bench"
+    assert data["generated_by"].endswith("harness.py --process")
+    assert data["plain_integrate_bit_identical"] is True
+    assert {"numpy", "process"} <= set(data["backends"])
+    for spec, d in data["backends"].items():
+        assert d["all_match"], spec
+        for r in d["members"]:
+            assert r["converged"], (spec, r)
+    speedup = data["backends"]["process"]["speedup_vs_numpy"]
+    assert speedup is not None and speedup > 0
+    exp = data["expectation"]
+    assert exp["min_speedup_vs_numpy"] == hz.PROCESS_BENCH_MIN_SPEEDUP
+    assert exp["enforced_on_this_host"] == (
+        data["host"]["cpus"] >= exp["min_cores"]
+    )
+    if exp["enforced_on_this_host"]:
+        assert speedup >= exp["min_speedup_vs_numpy"]
+
+
+def test_service_bench_shards_recorded():
+    data = hz.run_service_bench(smoke=True, shards=2)
+    assert data["shards"] == 2
+    for key, bad in data["bit_identity"].items():
+        assert bad == [], key
+    assert data["priority_order"]["in_priority_order"]
+
+
 def test_batch_bench_members_cover_all_families():
     names = {f.name for f in hz.batch_bench_members(smoke=False)}
     for family in ("oscillatory", "product_peak", "corner_peak", "gaussian",

@@ -1,0 +1,47 @@
+"""The documentation link graph stays intact (tools/check_doc_links.py).
+
+CI runs the tool over README + docs/ in the docs job; these tests keep
+the same check inside tier-1 and pin the tool's own behaviour on
+synthetic broken inputs.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+
+import check_doc_links as cdl  # noqa: E402
+
+
+def test_repo_docs_have_no_broken_links(capsys):
+    assert cdl.main([]) == 0
+    assert "all documentation links OK" in capsys.readouterr().out
+
+
+def test_missing_file_and_bad_anchor_detected(tmp_path, capsys):
+    target = tmp_path / "page.md"
+    target.write_text("# Real Heading\n\nbody\n")
+    source = tmp_path / "index.md"
+    source.write_text(
+        "[ok](page.md)\n"
+        "[ok-anchor](page.md#real-heading)\n"
+        "[gone](missing.md)\n"
+        "[bad-anchor](page.md#no-such-heading)\n"
+    )
+    assert cdl.main([str(source)]) == 1
+    err = capsys.readouterr().err
+    assert "missing.md" in err
+    assert "no-such-heading" in err
+
+
+def test_links_inside_code_fences_ignored(tmp_path):
+    source = tmp_path / "doc.md"
+    source.write_text("```\n[not a link](nowhere.md)\n```\n")
+    assert cdl.main([str(source)]) == 0
+
+
+def test_github_slugging():
+    assert cdl.github_slug("Reading `BENCH_process.json`") == (
+        "reading-bench_processjson"
+    )
+    assert cdl.github_slug("The layer map") == "the-layer-map"

@@ -1,0 +1,30 @@
+"""The documentation that executes: public-API doctests.
+
+CI runs the same examples through the dedicated lane
+(``pytest --doctest-modules src/repro/api.py
+src/repro/service/__init__.py``); this test keeps the lane green inside
+the default tier-1 suite too, so a broken example fails fast locally.
+"""
+
+import doctest
+
+import repro.api
+import repro.service
+
+
+def _run(module, min_examples: int) -> None:
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted >= min_examples, (
+        f"{module.__name__}: expected at least {min_examples} doctest "
+        f"examples, found {results.attempted} — the public API must keep "
+        "runnable examples"
+    )
+
+
+def test_api_doctests_pass():
+    _run(repro.api, min_examples=10)
+
+
+def test_service_doctests_pass():
+    _run(repro.service, min_examples=4)

@@ -1,8 +1,12 @@
 """Packaging/export sanity: the public API surface stays intact."""
 
 import importlib
+import re
+from pathlib import Path
 
 import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def test_top_level_exports():
@@ -53,6 +57,44 @@ def test_package_all_resolves(module):
     mod = importlib.import_module(module)
     for name in getattr(mod, "__all__", []):
         assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_setup_py_is_a_metadata_free_shim():
+    """setup.py predates pyproject.toml and must never disagree with it:
+    the only thing it may contain is a bare ``setup()`` call, so every
+    piece of metadata has exactly one home."""
+    source = (REPO_ROOT / "setup.py").read_text()
+    call = re.search(r"setup\((.*?)\)", source, re.DOTALL)
+    assert call, "setup.py must call setuptools.setup()"
+    assert call.group(1).strip() == "", (
+        "setup.py passed arguments to setup(); move all metadata to "
+        "pyproject.toml — the shim exists only for wheel-less "
+        "legacy editable installs"
+    )
+    for forbidden in ("name=", "version=", "packages=", "entry_points="):
+        assert forbidden not in source, f"metadata drift: {forbidden} in setup.py"
+
+
+def test_pyproject_declares_console_script_and_package():
+    """The surfaces CI's clean-install job exercises are declared where
+    pip actually reads them."""
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+    assert 'name = "pagani-repro"' in pyproject
+    assert 'pagani-repro = "repro.cli:main"' in pyproject
+
+
+def test_all_registered_backend_names_reach_the_cli_help():
+    """`--backend` guidance must name every registered host backend, so
+    the CLI surface cannot silently drift from the registry."""
+    from repro import cli
+    from repro.backends import _FACTORIES
+
+    source = Path(cli.__file__).read_text()
+    for name in _FACTORIES:
+        assert name in source, (
+            f"backend {name!r} is registered but never mentioned in the "
+            "CLI's --backend help text"
+        )
 
 
 def test_public_classes_have_docstrings():

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Markdown link checker for the documentation front door.
+
+Walks the given markdown files (default: ``README.md`` and every
+``docs/*.md``) and verifies every **relative** link target:
+
+* the linked file exists (relative to the linking file);
+* when the link carries a ``#fragment``, the target markdown file has a
+  heading whose GitHub-style slug matches the fragment.
+
+External links (``http(s)://``, ``mailto:``) are *not* fetched — CI must
+stay hermetic — but their URLs are sanity-checked for whitespace.
+Images and reference-style definitions are checked like links.
+
+Exit codes: 0 OK, 1 broken links found, 2 structural problem.
+
+Usage::
+
+    python tools/check_doc_links.py                 # README + docs/
+    python tools/check_doc_links.py README.md docs/architecture.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: inline links/images: [text](target) / ![alt](target); reference
+#: definitions: [label]: target
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*#*\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    # Strip inline code/links/emphasis markers, then slugify.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def _display(path: Path) -> str:
+    """Repo-relative rendering when possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def heading_slugs(path: Path) -> List[str]:
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: List[str] = []
+    seen: dict = {}
+    for match in _HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.append(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def extract_links(path: Path) -> List[str]:
+    text = path.read_text(encoding="utf-8")
+    text = _CODE_FENCE.sub("", text)  # fenced blocks are not links
+    return _INLINE_LINK.findall(text) + _REF_DEF.findall(text)
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Return ``(target, problem)`` pairs for every broken link."""
+    problems: List[Tuple[str, str]] = []
+    for target in extract_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            if any(c.isspace() for c in target):
+                problems.append((target, "external URL contains whitespace"))
+            continue
+        if target.startswith("#"):
+            base, fragment = path, target[1:]
+        else:
+            rel, _, fragment = target.partition("#")
+            base = (path.parent / rel).resolve()
+            if not base.exists():
+                problems.append((target, f"missing file {rel!r}"))
+                continue
+        if fragment:
+            if base.suffix != ".md":
+                continue  # anchors into source files: GitHub line refs etc.
+            if fragment not in heading_slugs(base):
+                problems.append(
+                    (target, f"no heading with slug {fragment!r} in "
+                             f"{_display(base)}")
+                )
+    return problems
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "files", nargs="*", type=Path,
+        help="markdown files to check (default: README.md docs/*.md)",
+    )
+    args = ap.parse_args(argv)
+    files = [f.resolve() for f in args.files] or default_files()
+
+    n_links = 0
+    failures = []
+    for path in files:
+        if not path.exists():
+            print(f"error: no such file {path}", file=sys.stderr)
+            return 2
+        links = extract_links(path)
+        n_links += len(links)
+        for target, problem in check_file(path):
+            failures.append((_display(path), target, problem))
+
+    print(f"checked {n_links} links across {len(files)} files")
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for path, target, problem in failures:
+            print(f"  - {path}: [{target}] {problem}", file=sys.stderr)
+        return 1
+    print("all documentation links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
