@@ -1048,6 +1048,267 @@ def print_service_bench(data: dict) -> None:
 
 
 # ---------------------------------------------------------------------------
+# HTTP service benchmark (BENCH_http.json)
+#
+# The HTTP front end (repro.service.http) + durable store
+# (repro.service.store) claim: a duplicate-heavy traffic trace served
+# over HTTP hits the content-addressed cache, and after a full server
+# restart the *durable* tier keeps serving those duplicates bit-for-bit
+# — no recomputation, no numeric drift across the process boundary.
+# The benchmark drives three waves of the same duplicate-heavy trace
+# through real HTTP requests:
+#
+#   cold          a fresh server + empty cache dir: uniques compute,
+#                 duplicates coalesce/hit the LRU;
+#   warm          same server, trace replayed: pure LRU replays;
+#   restart_warm  the server is STOPPED and a new one started on the
+#                 same cache dir (empty LRU): replays come from SQLite.
+#
+# Every result is checked bit-for-bit (float.hex fields over the wire)
+# against cold plain integrate() runs.
+# ---------------------------------------------------------------------------
+HTTP_BENCH_FILE = "BENCH_http.json"
+
+#: smoke trace: 2 unique jobs x this = 10 requests/wave, 20 over the
+#: cold+warm waves the CI lane replays against one server instance.
+HTTP_SMOKE_DUPLICATE_FACTOR = 5
+
+#: claims gated by --http (and by the committed-artifact test)
+HTTP_BENCH_MIN_WARM_HIT_RATE = 0.5
+HTTP_BENCH_MIN_RESTART_HIT_RATE = 0.9
+
+
+def _http_json(method: str, url: str, body: Optional[dict] = None) -> tuple:
+    """One JSON request against the bench server; (status, payload)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    req = urllib.request.Request(
+        url, method=method,
+        data=None if body is None else json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _run_http_wave(server, mix: List[dict], references: dict) -> dict:
+    """POST the whole trace, poll every result, verify bit-identity."""
+    import time as _time
+
+    from repro.service.store import result_to_payload
+
+    t0 = _time.perf_counter()
+    job_ids = []
+    for job in mix:
+        code, body = _http_json("POST", server.url + "/v1/jobs", job)
+        if code != 202:
+            raise RuntimeError(f"POST /v1/jobs -> {code}: {body}")
+        job_ids.append(body["job_id"])
+    results = []
+    for jid in job_ids:
+        while True:
+            code, body = _http_json(
+                "GET", f"{server.url}/v1/jobs/{jid}/result"
+            )
+            if code == 200:
+                results.append(body)
+                break
+            if code != 409:
+                raise RuntimeError(f"job {jid}: result -> {code}: {body}")
+            _time.sleep(0.02)
+    wall = _time.perf_counter() - t0
+
+    mismatches = []
+    for job, res in zip(mix, results):
+        ref_hex = result_to_payload(references[job["label"]])
+        got_hex = res["result_hex"]
+        if not (
+            got_hex["estimate"] == ref_hex["estimate"]
+            and got_hex["errorest"] == ref_hex["errorest"]
+            and got_hex["iterations"] == ref_hex["iterations"]
+            and got_hex["neval"] == ref_hex["neval"]
+        ):
+            mismatches.append(job["label"])
+    hits = sum(1 for r in results if r["cache_hit"])
+    return {
+        "wall_seconds": wall,
+        "jobs_per_second": len(mix) / wall if wall > 0 else float("inf"),
+        "requests": len(mix),
+        "cache_hits": hits,
+        "cache_hit_fraction": hits / len(mix),
+        "fresh_runs": len(mix) - hits,
+        "all_converged": all(r["result"]["converged"] for r in results),
+        "replay_mismatches": sorted(set(mismatches)),
+    }
+
+
+def run_http_bench(smoke: bool = False) -> dict:
+    """Drive the cold/warm/restart-warm HTTP traffic-trace benchmark."""
+    import platform
+    import shutil
+    import tempfile
+
+    from repro.api import integrate, serve_http
+    from repro.integrands.catalog import named_integrand
+
+    unique = service_bench_jobs(smoke=smoke)
+    k = HTTP_SMOKE_DUPLICATE_FACTOR if smoke else SERVICE_DUPLICATE_FACTOR
+    # Interleaved duplicates (A B A B ...): the cold wave exercises both
+    # in-flight coalescing and LRU hits, like real duplicate traffic.
+    mix = [dict(job) for _ in range(k) for job in unique]
+
+    references = {}
+    for job in unique:
+        f = named_integrand(job["integrand"])
+        references[job["label"]] = integrate(
+            f, f.ndim, rel_tol=job["rel_tol"],
+            max_iterations=job["max_iterations"],
+        )
+
+    cache_dir = tempfile.mkdtemp(prefix="pagani-http-bench-")
+    server_kwargs = dict(
+        host="127.0.0.1", port=0, max_concurrent=SERVICE_MAX_CONCURRENT,
+        backend="numpy", cache_dir=cache_dir,
+        max_queued=len(mix) + 8,
+    )
+    try:
+        server = serve_http(**server_kwargs)
+        try:
+            cold = _run_http_wave(server, mix, references)
+            warm = _run_http_wave(server, mix, references)
+            _, first_metrics = _http_json("GET", server.url + "/metrics")
+        finally:
+            server.close()
+
+        # Restart: a brand-new process-equivalent — fresh service, fresh
+        # LRU — pointed at the same cache dir.  Replays must now come
+        # from the durable SQLite tier.
+        server = serve_http(**server_kwargs)
+        try:
+            restart_warm = _run_http_wave(server, mix, references)
+            _, restart_metrics = _http_json("GET", server.url + "/metrics")
+        finally:
+            server.close()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    cache_stats = restart_metrics["service"]["cache"]
+    restart_warm["durable_hits"] = cache_stats["durable_hits"]
+    restart_warm["durable_entries"] = cache_stats["durable"]["entries"]
+
+    return {
+        "schema": 1,
+        "suite": "pagani-http-bench",
+        "mode": "smoke" if smoke else ("full" if full_mode() else "quick"),
+        "generated_by": "PYTHONPATH=src python benchmarks/harness.py --http",
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "backend": "numpy",
+        "max_concurrent": SERVICE_MAX_CONCURRENT,
+        "duplicate_factor": k,
+        "unique_jobs": unique,
+        "n_jobs_per_wave": len(mix),
+        "waves": {
+            "cold": cold,
+            "warm": warm,
+            "restart_warm": restart_warm,
+        },
+        "first_server_metrics": {
+            "http": first_metrics["http"],
+            "cache": first_metrics["service"]["cache"],
+            "coalesced": first_metrics["service"]["coalesced"],
+        },
+        "warm_speedup": (
+            cold["wall_seconds"] / warm["wall_seconds"]
+            if warm["wall_seconds"] > 0 else float("inf")
+        ),
+        "restart_warm_speedup": (
+            cold["wall_seconds"] / restart_warm["wall_seconds"]
+            if restart_warm["wall_seconds"] > 0 else float("inf")
+        ),
+        "expectation": {
+            "min_warm_hit_rate": HTTP_BENCH_MIN_WARM_HIT_RATE,
+            "min_restart_hit_rate": HTTP_BENCH_MIN_RESTART_HIT_RATE,
+        },
+    }
+
+
+def http_bench_problems(data: dict) -> List[str]:
+    """The claims the --http run (and CI) must uphold; [] when clean."""
+    problems = []
+    waves = data["waves"]
+    for name, wave in waves.items():
+        if not wave["all_converged"]:
+            problems.append(f"{name} wave had non-converged jobs (DNF)")
+        if wave["replay_mismatches"]:
+            problems.append(
+                f"{name} wave disagrees with cold integrate(): "
+                f"{wave['replay_mismatches']}"
+            )
+    exp = data["expectation"]
+    if waves["warm"]["cache_hit_fraction"] < exp["min_warm_hit_rate"]:
+        problems.append(
+            f"warm wave hit rate {waves['warm']['cache_hit_fraction']:.2f} "
+            f"below {exp['min_warm_hit_rate']:.2f}"
+        )
+    restart = waves["restart_warm"]
+    if restart["cache_hit_fraction"] < exp["min_restart_hit_rate"]:
+        problems.append(
+            f"restart-warm hit rate {restart['cache_hit_fraction']:.2f} "
+            f"below {exp['min_restart_hit_rate']:.2f} — the durable store "
+            "did not survive the restart"
+        )
+    if restart["durable_hits"] < len(data["unique_jobs"]):
+        problems.append(
+            f"only {restart['durable_hits']} durable hits after restart "
+            f"(expected >= {len(data['unique_jobs'])} — one per unique job)"
+        )
+    return problems
+
+
+def write_http_bench(data: dict, out: Optional[Path] = None) -> Path:
+    """Write the HTTP-benchmark payload as pretty JSON; return the path."""
+    return _write_bench_json(data, out, HTTP_BENCH_FILE)
+
+
+def print_http_bench(data: dict) -> None:
+    waves = data["waves"]
+    body = []
+    for name in ("cold", "warm", "restart_warm"):
+        w = waves[name]
+        body.append([
+            name,
+            f"{w['wall_seconds']:.2f}s",
+            f"{w['jobs_per_second']:.2f}",
+            f"{w['cache_hit_fraction']:.0%}",
+            str(w["fresh_runs"]),
+            "OK" if not w["replay_mismatches"] else "MISMATCH",
+        ])
+    print_table(
+        f"HTTP service benchmark ({data['mode']}, "
+        f"{data['n_jobs_per_wave']} jobs/wave = "
+        f"{len(data['unique_jobs'])} unique x{data['duplicate_factor']})",
+        ["wave", "wall", "jobs/s", "hit rate", "fresh", "bits"],
+        body,
+    )
+    restart = waves["restart_warm"]
+    print(
+        f"restart-warm wave: {restart['durable_hits']} durable-store hits, "
+        f"{restart['durable_entries']} entries on disk, "
+        f"{data['restart_warm_speedup']:.0f}x vs cold"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Process-backend benchmark (BENCH_process.json)
 #
 # The process backend (repro.backends.process) claims real multi-core
@@ -1305,17 +1566,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"(writes results/{PROCESS_BENCH_FILE})",
     )
     ap.add_argument(
+        "--http", action="store_true",
+        help="run the HTTP traffic-trace benchmark instead: cold / warm / "
+        "restart-warm waves of a duplicate-heavy trace over real HTTP, "
+        "durable-store replay bit-identity "
+        f"(writes results/{HTTP_BENCH_FILE})",
+    )
+    ap.add_argument(
         "--out", default=None,
         help="output path (default: results/"
         f"{BACKEND_BENCH_FILE}, {BATCH_BENCH_FILE} or {SERVICE_BENCH_FILE})",
     )
     args = ap.parse_args(argv)
 
-    if sum((args.batch, args.service, args.process)) > 1:
-        print("error: pick one of --batch / --service / --process",
+    if sum((args.batch, args.service, args.process, args.http)) > 1:
+        print("error: pick one of --batch / --service / --process / --http",
               file=sys.stderr)
         return 2
     backends = args.backends.split(",") if args.backends else None
+    if args.http:
+        data = run_http_bench(smoke=args.smoke)
+        path = write_http_bench(data, out=args.out)
+        print_http_bench(data)
+        print(f"\nwrote {path}")
+        problems = http_bench_problems(data)
+        for problem in problems:
+            print(f"WARNING: {problem}")
+        return 1 if problems else 0
     if args.process:
         data = run_process_bench(backends=backends, smoke=args.smoke)
         path = write_process_bench(data, out=args.out)

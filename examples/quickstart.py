@@ -122,6 +122,72 @@ def main() -> None:
             f"{svc.stats()['coalesced']} coalesced"
         )
 
+    # The same service is reachable over the network: serve_http() binds
+    # an HTTP/JSON API (stdlib server, no extra dependency) and any HTTP
+    # client — here a dependency-free asyncio one — drives the full
+    # submit → poll → result → shutdown round trip.  Passing
+    # cache_dir= would additionally persist results to SQLite so
+    # duplicates replay bit-for-bit even across server restarts.
+    import asyncio
+
+    from repro import serve_http
+
+    print("\n== HTTP server: asyncio client round trip ==")
+
+    async def http_json(method: str, host: str, port: int, path: str,
+                        body: dict = None):
+        """Minimal HTTP/1.1 JSON request on raw asyncio streams."""
+        import json
+
+        payload = b"" if body is None else json.dumps(body).encode()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, body_bytes = raw.partition(b"\r\n\r\n")
+        status = int(head.split(None, 2)[1])
+        return status, json.loads(body_bytes)
+
+    async def http_round_trip() -> None:
+        with serve_http(port=0) as server:  # port 0: pick a free port
+            host, port = server.host, server.port
+            code, sub = await http_json(
+                "POST", host, port, "/v1/jobs",
+                {"integrand": "3D-f4", "rel_tol": 1e-3, "priority": 2},
+            )
+            job = sub["job_id"]
+            print(f"  POST /v1/jobs -> {code} (job {job})")
+            while True:  # poll until terminal
+                _, status = await http_json(
+                    "GET", host, port, f"/v1/jobs/{job}"
+                )
+                if status["status"] in ("done", "failed", "cancelled"):
+                    break
+                await asyncio.sleep(0.05)
+            code, res = await http_json(
+                "GET", host, port, f"/v1/jobs/{job}/result"
+            )
+            print(
+                f"  GET /v1/jobs/{job}/result -> {code}: "
+                f"estimate={res['result']['estimate']:.10f} "
+                f"({res['result']['status']})"
+            )
+            _, metrics = await http_json("GET", host, port, "/metrics")
+            print(
+                f"  GET /metrics -> queue={metrics['service']['queued']}, "
+                f"submitted={metrics['service']['submitted']}"
+            )
+        print("  server shut down cleanly")
+
+    asyncio.run(http_round_trip())
+
 
 if __name__ == "__main__":
     main()

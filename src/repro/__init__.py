@@ -18,7 +18,8 @@ Package map
 ``repro.core``        PAGANI itself (Algorithms 2 and 3)
 ``repro.cubature``    Genz–Malik rules, batch evaluation, two-level errors
 ``repro.batch``       batched multi-integrand scheduling (integrate_many)
-``repro.service``     job queue + result cache service layer (serve_jobs)
+``repro.service``     job queue + result cache service layer
+                      (serve_jobs, serve_http, durable store)
 ``repro.backends``    pluggable array-execution backends (numpy/threaded/cupy)
 ``repro.gpu``         virtual device: cost model, memory pool, scheduler
 ``repro.baselines``   sequential Cuhre, two-phase GPU method, randomized QMC
@@ -27,7 +28,7 @@ Package map
 ``repro.diagnostics`` traces, tree statistics, load-imbalance reports
 """
 
-from repro.api import integrate, integrate_many, serve_jobs
+from repro.api import integrate, integrate_many, serve_http, serve_jobs
 from repro.backends import ArrayBackend, available_backends, get_backend
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.core.result import IntegrationResult, Status
@@ -43,6 +44,7 @@ __all__ = [
     "integrate",
     "integrate_many",
     "serve_jobs",
+    "serve_http",
     "IntegrationResult",
     "Status",
     "PaganiConfig",

@@ -456,3 +456,74 @@ def serve_jobs(
         if own_service:
             service.shutdown(wait=True)
     return handles
+
+
+def serve_http(
+    host: str = "127.0.0.1",
+    port: int = 8053,
+    *,
+    max_concurrent: int = 4,
+    backend: BackendSpec = None,
+    shards: int = 1,
+    cache_entries: int = 256,
+    cache_dir=None,
+    max_queued: int = 64,
+    history_limit: Optional[int] = 1024,
+    collect_traces: bool = False,
+):
+    """Start the HTTP/JSON integration server; returns the running server.
+
+    Builds an :class:`~repro.service.IntegrationService` (sharded,
+    cached) and binds an
+    :class:`~repro.service.http.HttpIntegrationServer` to it.  The
+    returned server is already listening; call ``.close()`` (or use a
+    ``with`` block) to stop it — the server owns the service and shuts
+    it down too.  ``pagani-repro serve --http HOST:PORT`` is the CLI
+    face of this function.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address.  ``port=0`` picks a free port — read it back from
+        ``server.port`` / ``server.url``.
+    max_concurrent / backend / shards / cache_entries / collect_traces:
+        Forwarded to :class:`~repro.service.IntegrationService`.
+    cache_dir:
+        When given, results are also persisted to a SQLite store under
+        this directory (:class:`~repro.service.TieredResultCache`):
+        duplicate requests after a restart replay **bit-for-bit** from
+        disk instead of recomputing.  ``None`` keeps the plain
+        in-memory LRU.
+    max_queued:
+        Admission bound: ``POST /v1/jobs`` is rejected with ``429`` +
+        ``Retry-After`` while this many jobs are already waiting.
+    history_limit:
+        Terminal-handle retention in the service (default 1024 — a
+        network-facing server must bound its memory; the HTTP layer
+        keeps its own handle map for job lookups).
+
+    Examples
+    --------
+    >>> import json, urllib.request
+    >>> from repro import serve_http
+    >>> with serve_http(port=0) as server:        # port 0: pick a free port
+    ...     with urllib.request.urlopen(server.url + "/healthz") as r:
+    ...         ok = json.loads(r.read())["ok"]
+    >>> ok
+    True
+    """
+    from repro.service import IntegrationService, TieredResultCache
+    from repro.service.http import HttpIntegrationServer
+
+    cache: Union[bool, "TieredResultCache"] = True
+    if cache_dir is not None:
+        cache = TieredResultCache(cache_dir, max_entries=cache_entries)
+    service = IntegrationService(
+        max_concurrent=max_concurrent, backend=backend, cache=cache,
+        cache_entries=cache_entries, shards=shards,
+        history_limit=history_limit, collect_traces=collect_traces,
+    )
+    return HttpIntegrationServer(
+        service, host=host, port=port, max_queued=max_queued,
+        owns_service=True,
+    )

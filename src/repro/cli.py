@@ -19,6 +19,11 @@ result cache)::
 
     pagani-repro serve --jobs jobs.json --max-concurrent 4 --out results.json
 
+Expose the service over HTTP with a durable (restart-surviving) result
+cache — add ``--jobs`` to replay a file through the API and exit::
+
+    pagani-repro serve --http 0.0.0.0:8053 --cache-dir /var/cache/pagani
+
 List the available named integrands::
 
     pagani-repro list
@@ -119,9 +124,28 @@ def main(argv: Optional[list] = None) -> int:
         "(priority queue + result cache)",
     )
     serve.add_argument(
-        "--jobs", required=True,
+        "--jobs", default=None,
         help="path to a jobs JSON file: a list (or {\"jobs\": [...]}) of "
-        "{\"integrand\": \"5D-f4\", \"rel_tol\": 1e-4, \"priority\": 3, ...}",
+        "{\"integrand\": \"5D-f4\", \"rel_tol\": 1e-4, \"priority\": 3, ...}; "
+        "required unless --http starts a long-running server",
+    )
+    serve.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="expose the service over HTTP/JSON at this address "
+        "(port 0 picks a free port).  With --jobs the file is replayed "
+        "through the HTTP API and the process exits; without it the "
+        "server runs until interrupted",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persist results to a SQLite store under PATH (durable "
+        "tier behind the LRU): duplicate jobs replay bit-for-bit even "
+        "across server restarts",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=64,
+        help="HTTP admission bound: POSTs are 429-rejected while this "
+        "many jobs are already queued (default 64)",
     )
     serve.add_argument(
         "--max-concurrent", type=int, default=4,
@@ -242,6 +266,22 @@ def _run_batch(args) -> int:
     return 0 if n_ok == len(results) else 1
 
 
+def _load_jobs_file(path: str):
+    """Parse a jobs JSON file into its raw entry list (or an error str)."""
+    import json
+
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return None, f"cannot read jobs file: {exc}"
+    entries = payload.get("jobs") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list) or not entries:
+        return None, ("jobs file must hold a non-empty list of jobs "
+                      "(or {\"jobs\": [...]})")
+    return entries, None
+
+
 def _run_serve(args) -> int:
     """The ``serve`` subcommand: a jobs file through the service layer."""
     import json
@@ -249,16 +289,15 @@ def _run_serve(args) -> int:
     from repro.api import serve_jobs
     from repro.service import IntegrationService, JobStatus, JobSpec
 
-    try:
-        with open(args.jobs) as fh:
-            payload = json.load(fh)
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot read jobs file: {exc}", file=sys.stderr)
+    if args.http is not None:
+        return _run_serve_http(args)
+    if args.jobs is None:
+        print("error: --jobs is required (only --http can run jobless)",
+              file=sys.stderr)
         return 2
-    entries = payload.get("jobs") if isinstance(payload, dict) else payload
-    if not isinstance(entries, list) or not entries:
-        print("error: jobs file must hold a non-empty list of jobs "
-              "(or {\"jobs\": [...]})", file=sys.stderr)
+    entries, err = _load_jobs_file(args.jobs)
+    if err is not None:
+        print(f"error: {err}", file=sys.stderr)
         return 2
     try:
         specs = [JobSpec.from_dict(dict(entry)) for entry in entries]
@@ -279,9 +318,16 @@ def _run_serve(args) -> int:
         if args.shards == 1
         else (args.backend if backend.name == requested else "numpy")
     )
+    cache_arg = not args.no_cache
+    if args.cache_dir is not None and not args.no_cache:
+        from repro.service import TieredResultCache
+
+        cache_arg = TieredResultCache(
+            args.cache_dir, max_entries=args.cache_entries
+        )
     service = IntegrationService(
         max_concurrent=args.max_concurrent, backend=backend_arg,
-        cache=not args.no_cache, cache_entries=args.cache_entries,
+        cache=cache_arg, cache_entries=args.cache_entries,
         shards=args.shards,
     )
     try:
@@ -289,6 +335,8 @@ def _run_serve(args) -> int:
         stats = service.stats()
     finally:
         service.shutdown(wait=True)
+        if hasattr(cache_arg, "close"):
+            cache_arg.close()
 
     rows = []
     for handle in handles:
@@ -338,6 +386,131 @@ def _run_serve(args) -> int:
             "jobs": rows,
             "service": stats,
         }
+        with open(args.out, "w") as fh:
+            json.dump(out_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if n_ok == len(rows) else 1
+
+
+def _http_json(method: str, url: str, data=None, timeout: float = 30.0):
+    """One JSON request; returns (status_code, parsed_body)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    req = urllib.request.Request(
+        url, method=method,
+        data=None if data is None else json.dumps(data).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _run_serve_http(args) -> int:
+    """``serve --http``: start the HTTP server (and optionally replay a
+    jobs file through it, which makes the command exit deterministically
+    — the shape CI and tests use)."""
+    import json
+    import time
+
+    from repro.api import serve_http
+
+    host, sep, port_s = args.http.rpartition(":")
+    try:
+        port = int(port_s)
+        if not sep or not host:
+            raise ValueError
+    except ValueError:
+        print(f"error: --http wants HOST:PORT, got {args.http!r}",
+              file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    entries = None
+    if args.jobs is not None:
+        entries, err = _load_jobs_file(args.jobs)
+        if err is not None:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+    try:
+        backend = _resolve_backend(args.backend)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    requested = args.backend.partition(":")[0]
+    backend_arg = (
+        backend
+        if args.shards == 1
+        else (args.backend if backend.name == requested else "numpy")
+    )
+
+    server = serve_http(
+        host=host, port=port, max_concurrent=args.max_concurrent,
+        backend=backend_arg, shards=args.shards,
+        cache_entries=args.cache_entries, cache_dir=args.cache_dir,
+        max_queued=args.max_queued,
+    )
+    print(f"serving on {server.url} "
+          f"(backend {backend.name!r} x{args.shards} shard(s)"
+          f"{', durable cache ' + args.cache_dir if args.cache_dir else ''})")
+    if entries is None:
+        # long-running mode: block until Ctrl-C
+        server.serve_forever()
+        return 0
+
+    try:
+        rows = []
+        for entry in entries:
+            code, body = _http_json("POST", server.url + "/v1/jobs", entry)
+            if code != 202:
+                print(f"error: POST /v1/jobs -> {code}: "
+                      f"{body.get('error', body)}", file=sys.stderr)
+                return 2
+            rows.append({"job_id": body["job_id"], "request": dict(entry)})
+        for row in rows:
+            jid = row["job_id"]
+            while True:
+                code, body = _http_json(
+                    "GET", f"{server.url}/v1/jobs/{jid}/result"
+                )
+                if code != 409:
+                    break
+                time.sleep(0.05)
+            row["http_status"] = code
+            row.update(body)
+        code, metrics = _http_json("GET", server.url + "/metrics")
+    finally:
+        server.close()
+
+    label_w = max(
+        len(str(r["request"].get("label") or r["request"]["integrand"]))
+        for r in rows
+    )
+    print(f"{'label'.ljust(label_w)}  {'status':<10} {'estimate':>16} "
+          f"{'errorest':>10}  hit")
+    n_ok = 0
+    for r in rows:
+        label = str(r["request"].get("label") or r["request"]["integrand"])
+        res = r.get("result") or {}
+        converged = bool(res.get("converged"))
+        n_ok += converged
+        est = f"{res['estimate']:>16.9g}" if "estimate" in res else " " * 16
+        erro = f"{res['errorest']:>10.3g}" if "errorest" in res else " " * 10
+        print(f"{label.ljust(label_w)}  {r.get('status', '?'):<10} "
+              f"{est} {erro}  {'y' if r.get('cache_hit') else 'n':>3}")
+    cache = metrics["service"].get("cache") or {}
+    print(f"\n{n_ok}/{len(rows)} converged over HTTP "
+          f"({cache.get('hits', 0)} cache hits, "
+          f"{cache.get('durable_hits', 0)} from the durable store)")
+
+    if args.out:
+        out_payload = {"schema": 1, "jobs": rows, "metrics": metrics}
         with open(args.out, "w") as fh:
             json.dump(out_payload, fh, indent=2, sort_keys=True)
             fh.write("\n")

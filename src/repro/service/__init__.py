@@ -21,6 +21,13 @@ rather than running one batch:
     backend instance, with in-flight request coalescing across shards.
 :mod:`repro.service.aio`
     ``asyncio`` wrapper (:class:`AsyncIntegrationService`).
+:mod:`repro.service.store`
+    Durable tier: :class:`DurableResultStore` (SQLite, ``float.hex``
+    round-trip) and :class:`TieredResultCache` (LRU front + durable
+    back) — the cache survives process restarts bit-for-bit.
+:mod:`repro.service.http`
+    Stdlib HTTP/JSON front end (:class:`HttpIntegrationServer`) with
+    admission control; see :func:`repro.serve_http`.
 
 Jobs are :class:`JobSpec` requests and resolve through future-like
 :class:`JobHandle` objects; duplicates are served from the cache or
@@ -54,8 +61,10 @@ from repro.service.jobs import (
     JobStats,
     JobStatus,
 )
+from repro.service.http import HttpIntegrationServer
 from repro.service.queue import JobQueue
 from repro.service.service import IntegrationService, ServiceClosedError
+from repro.service.store import DurableResultStore, TieredResultCache
 
 __all__ = [
     "IntegrationService",
@@ -70,4 +79,7 @@ __all__ = [
     "ResultCache",
     "job_fingerprint",
     "handle_as_future",
+    "DurableResultStore",
+    "TieredResultCache",
+    "HttpIntegrationServer",
 ]

@@ -85,6 +85,12 @@ class AsyncIntegrationService:
         """Submit and await one job."""
         return await self.submit(*args, **kwargs)
 
+    def stats(self) -> dict:
+        """Counter snapshot from the wrapped service — the same public
+        :meth:`IntegrationService.stats` dict the HTTP ``/metrics``
+        endpoint serves (no private attribute access, no extra state)."""
+        return self.service.stats()
+
     async def aclose(self, cancel_pending: bool = False) -> None:
         """Shut the service down without blocking the event loop."""
         loop = asyncio.get_running_loop()

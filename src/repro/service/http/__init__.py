@@ -1,0 +1,19 @@
+"""HTTP/JSON front end for the integration service.
+
+Stdlib-only (``http.server``): the reproduction stays installable with
+no new dependency while becoming reachable over a network.  See
+:class:`HttpIntegrationServer` and ``docs/service.md`` for the endpoint
+and error-code contract.
+"""
+
+from repro.service.http.server import (
+    DEFAULT_MAX_QUEUED,
+    HTTP_API_VERSION,
+    HttpIntegrationServer,
+)
+
+__all__ = [
+    "HttpIntegrationServer",
+    "HTTP_API_VERSION",
+    "DEFAULT_MAX_QUEUED",
+]

@@ -285,16 +285,39 @@ class IntegrationService:
                 return False
         return True
 
+    def queue_depth(self) -> int:
+        """Jobs currently waiting for a rotation slot (admission gate
+        for front ends: compare against a bound before accepting)."""
+        with self._cond:
+            return len(self._queue)
+
     def stats(self) -> dict:
-        """Snapshot of queue/rotation/cache counters."""
+        """Snapshot of queue/rotation/cache counters.
+
+        This is the one public observability surface: the HTTP
+        ``/metrics`` endpoint, the CLI serve report and the asyncio
+        wrapper all serve this dict verbatim, so additions here must be
+        additive (existing keys keep their meaning).
+        """
         with self._cond:
             handles = list(self._handles)
             rounds = self._rounds
             coalesced = self._coalesced
-            running = sum(
-                len(shard.members)
-                + sum(len(f) for f in shard.followers.values())
+            queued = len(self._queue)
+            inflight = len(self._inflight)
+            per_shard = [
+                {
+                    "shard": shard.index,
+                    "live": len(shard.members),
+                    "followers": sum(
+                        len(f) for f in shard.followers.values()
+                    ),
+                    "utilization": len(shard.members) / self.max_concurrent,
+                }
                 for shard in self._shards
+            ]
+            running = sum(
+                s["live"] + s["followers"] for s in per_shard
             )
             by_status = dict(self._pruned_by_status)
         n_pruned = sum(by_status.values())
@@ -303,13 +326,15 @@ class IntegrationService:
         return {
             "submitted": len(handles) + n_pruned,
             "by_status": by_status,
-            "queued": len(self._queue),
+            "queued": queued,
             "running": running,
+            "inflight": inflight,
             "rounds": rounds,
             "coalesced": coalesced,
             "max_concurrent": self.max_concurrent,
             "backend": self.backend.name,
             "shards": len(self._shards),
+            "per_shard": per_shard,
             "cache": self.cache.stats() if self.cache is not None else None,
         }
 

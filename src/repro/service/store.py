@@ -1,0 +1,399 @@
+"""Durable content-addressed result store + tiered cache.
+
+The in-memory :class:`~repro.service.cache.ResultCache` dies with the
+process; this module adds the persistent tier beneath it:
+
+:class:`DurableResultStore`
+    A SQLite-backed key/value store of finished
+    :class:`~repro.core.result.IntegrationResult` objects, keyed by the
+    *same* SHA-256 fingerprint the LRU uses
+    (:func:`~repro.service.cache.job_fingerprint`) — nothing about the
+    cache identity changes when a result crosses the process boundary.
+:class:`TieredResultCache`
+    A drop-in :class:`~repro.service.cache.ResultCache` whose misses
+    fall through to a durable store.  Hits in the durable tier are
+    *promoted* into the LRU; LRU eviction merely *demotes* (the memory
+    copy is dropped, the durable row stays), so capacity pressure never
+    loses a computed result.
+
+**Bit-for-bit durability contract.**  Results are serialised with every
+float as ``float.hex()`` (and parsed back with ``float.fromhex``), so a
+replay after a process restart carries *exactly* the bits the original
+run produced — the same contract the in-memory cache keeps, now across
+restarts.  ``tests/service/test_durable_store.py`` asserts the round
+trip field by field against cold :func:`repro.api.integrate` runs.
+
+**Corruption.**  A row whose payload no longer parses (truncated disk
+write, schema from the future, hand editing) is *quarantined* on read:
+moved out of the results table into a ``quarantine`` table, counted,
+and reported as a miss — a damaged entry costs one recompute, never a
+wrong answer.
+
+Thread/process model: one store instance is safe to share across the
+service's shard threads (a single serialised connection guarded by a
+lock); separate *processes* pointing at the same path coordinate
+through SQLite's own file locking (WAL mode, busy timeout), which is
+what makes the cache shareable between restarts and between sibling
+servers on one host.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import fields as dataclass_fields
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.result import IntegrationResult, IterationRecord, Status
+from repro.service.cache import ResultCache
+
+#: bump when the serialised result payload layout changes; rows written
+#: by a different schema are quarantined on read (one recompute, never
+#: a misparse).
+STORE_SCHEMA = 1
+
+#: filename used when the store is given a directory instead of a file
+STORE_FILENAME = "results.sqlite"
+
+_INT_FIELDS = ("neval", "nregions", "iterations")
+_FLOAT_FIELDS = ("estimate", "errorest", "sim_seconds", "wall_seconds")
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def _unhex(value: str) -> float:
+    return float.fromhex(value)
+
+
+def result_to_payload(result: IntegrationResult) -> dict:
+    """Serialise a result with exact (``float.hex``) float encoding."""
+    payload: dict = {
+        "schema": STORE_SCHEMA,
+        "status": result.status.value,
+        "method": result.method,
+        "true_value": (
+            None if result.true_value is None else _hex(result.true_value)
+        ),
+        "trace": [
+            {
+                "iteration": int(rec.iteration),
+                "n_regions": int(rec.n_regions),
+                "n_active": int(rec.n_active),
+                "n_finished_relerr": int(rec.n_finished_relerr),
+                "n_finished_threshold": int(rec.n_finished_threshold),
+                "estimate": _hex(rec.estimate),
+                "errorest": _hex(rec.errorest),
+                "finished_estimate": _hex(rec.finished_estimate),
+                "finished_errorest": _hex(rec.finished_errorest),
+                "neval": int(rec.neval),
+                "sim_seconds": _hex(rec.sim_seconds),
+            }
+            for rec in result.trace
+        ],
+    }
+    for name in _FLOAT_FIELDS:
+        payload[name] = _hex(getattr(result, name))
+    for name in _INT_FIELDS:
+        payload[name] = int(getattr(result, name))
+    return payload
+
+
+def result_from_payload(payload: dict) -> IntegrationResult:
+    """Parse :func:`result_to_payload` output back, bit for bit.
+
+    Raises ``StorePayloadError`` on anything that does not parse —
+    including a schema number this build does not understand.
+    """
+    try:
+        if payload["schema"] != STORE_SCHEMA:
+            raise StorePayloadError(
+                f"unknown store schema {payload['schema']!r}"
+            )
+        trace = [
+            IterationRecord(
+                iteration=int(rec["iteration"]),
+                n_regions=int(rec["n_regions"]),
+                n_active=int(rec["n_active"]),
+                n_finished_relerr=int(rec["n_finished_relerr"]),
+                n_finished_threshold=int(rec["n_finished_threshold"]),
+                estimate=_unhex(rec["estimate"]),
+                errorest=_unhex(rec["errorest"]),
+                finished_estimate=_unhex(rec["finished_estimate"]),
+                finished_errorest=_unhex(rec["finished_errorest"]),
+                neval=int(rec["neval"]),
+                sim_seconds=_unhex(rec["sim_seconds"]),
+            )
+            for rec in payload["trace"]
+        ]
+        result = IntegrationResult(
+            estimate=_unhex(payload["estimate"]),
+            errorest=_unhex(payload["errorest"]),
+            status=Status(payload["status"]),
+            neval=int(payload["neval"]),
+            nregions=int(payload["nregions"]),
+            iterations=int(payload["iterations"]),
+            method=str(payload["method"]),
+            sim_seconds=_unhex(payload["sim_seconds"]),
+            wall_seconds=_unhex(payload["wall_seconds"]),
+            trace=trace,
+            true_value=(
+                None if payload["true_value"] is None
+                else _unhex(payload["true_value"])
+            ),
+        )
+    except StorePayloadError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorePayloadError(f"malformed result payload: {exc}") from exc
+    return result
+
+
+class StorePayloadError(ValueError):
+    """A stored result payload did not parse."""
+
+
+class DurableResultStore:
+    """SQLite-backed persistent tier of the content-addressed cache.
+
+    Parameters
+    ----------
+    path:
+        SQLite file, or a directory (``STORE_FILENAME`` is created
+        inside it).  Parent directories are created as needed.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        path = Path(path)
+        if path.suffix == "" and not path.is_file():
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / STORE_FILENAME
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            str(path), check_same_thread=False, timeout=30.0
+        )
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.quarantined = 0
+        with self._lock:
+            cur = self._conn
+            # WAL lets a sibling process read while this one writes; the
+            # busy timeout above covers the write/write case.
+            cur.execute("PRAGMA journal_mode=WAL")
+            cur.execute("PRAGMA synchronous=NORMAL")
+            cur.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " fingerprint TEXT PRIMARY KEY,"
+                " schema INTEGER NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " created_at REAL NOT NULL)"
+            )
+            cur.execute(
+                "CREATE TABLE IF NOT EXISTS quarantine ("
+                " fingerprint TEXT,"
+                " payload TEXT,"
+                " reason TEXT,"
+                " quarantined_at REAL)"
+            )
+            cur.commit()
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[IntegrationResult]:
+        """The stored result (exact bits), or None (counted miss).
+
+        A row that fails to parse is quarantined and reported as a miss.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+        if row is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            result = result_from_payload(json.loads(row[0]))
+        except (StorePayloadError, ValueError) as exc:
+            self._quarantine(fingerprint, row[0], repr(exc))
+            return None
+        with self._lock:
+            self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: IntegrationResult) -> None:
+        """Persist (idempotently — last write wins) one finished result."""
+        blob = json.dumps(
+            result_to_payload(result), sort_keys=True, separators=(",", ":")
+        )
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, schema, payload, created_at) "
+                "VALUES (?, ?, ?, ?)",
+                (fingerprint, STORE_SCHEMA, blob, time.time()),
+            )
+            self._conn.commit()
+            self.writes += 1
+
+    def _quarantine(self, fingerprint: str, payload: str, reason: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+            )
+            self._conn.execute(
+                "INSERT INTO quarantine "
+                "(fingerprint, payload, reason, quarantined_at) "
+                "VALUES (?, ?, ?, ?)",
+                (fingerprint, payload, reason, time.time()),
+            )
+            self._conn.commit()
+            self.quarantined += 1
+            self.misses += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(row[0])
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+        return row is not None
+
+    def fingerprints(self) -> List[str]:
+        """Every stored fingerprint (insertion order not guaranteed)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT fingerprint FROM results"
+            ).fetchall()
+        return [r[0] for r in rows]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "path": str(self.path),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "quarantined": self.quarantined,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "DurableResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class TieredResultCache(ResultCache):
+    """LRU front + durable back, presented as one :class:`ResultCache`.
+
+    ``get`` checks the LRU first; a miss falls through to the durable
+    store and a durable hit is **promoted** into the LRU (so repeated
+    traffic pays SQLite once, not per request).  ``put`` writes through
+    to both tiers.  LRU eviction only drops the memory copy — the
+    durable row survives, which is the *demotion* half of the contract.
+
+    ``hits``/``misses``/``evictions`` keep their base meaning (a durable
+    hit counts as a cache hit); ``stats()`` additionally breaks hits
+    into memory vs durable and embeds the store's own counters.
+    """
+
+    def __init__(
+        self,
+        store: Union[DurableResultStore, str, Path],
+        max_entries: int = 256,
+    ):
+        super().__init__(max_entries=max_entries)
+        if not isinstance(store, DurableResultStore):
+            store = DurableResultStore(store)
+        self.store = store
+        self.durable_hits = 0
+
+    def get(self, fingerprint: str) -> Optional[IntegrationResult]:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                return copy.deepcopy(entry)
+        # Durable tier outside the LRU lock: SQLite serialises itself,
+        # and a concurrent put of the same fingerprint is idempotent.
+        result = self.store.get(fingerprint)
+        if result is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+            self.durable_hits += 1
+        self._promote(fingerprint, result)
+        return result
+
+    def _promote(self, fingerprint: str, result: IntegrationResult) -> None:
+        """Install a durable hit into the LRU (memory copy only)."""
+        with self._lock:
+            self._entries[fingerprint] = copy.deepcopy(result)
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def put(self, fingerprint: str, result: IntegrationResult) -> None:
+        super().put(fingerprint, result)
+        self.store.put(fingerprint, result)
+
+    def stats(self) -> Dict[str, float]:
+        base = super().stats()
+        with self._lock:
+            durable_hits = self.durable_hits
+        base["memory_hits"] = base["hits"] - durable_hits
+        base["durable_hits"] = durable_hits
+        base["durable"] = self.store.stats()
+        return base
+
+    def close(self) -> None:
+        self.store.close()
+
+
+# Keep the trace row layout in one place: a drift between IterationRecord
+# and the serializer would silently drop fields, so assert the coverage
+# at import time (cheap, and it turns a refactor slip into a loud error).
+_TRACE_FIELDS = {f.name for f in dataclass_fields(IterationRecord)}
+assert _TRACE_FIELDS == {
+    "iteration", "n_regions", "n_active", "n_finished_relerr",
+    "n_finished_threshold", "estimate", "errorest", "finished_estimate",
+    "finished_errorest", "neval", "sim_seconds",
+}, _TRACE_FIELDS
+
+__all__ = [
+    "DurableResultStore",
+    "TieredResultCache",
+    "StorePayloadError",
+    "result_to_payload",
+    "result_from_payload",
+    "STORE_SCHEMA",
+    "STORE_FILENAME",
+]

@@ -91,3 +91,62 @@ def test_serve_rejects_bad_entries(tmp_path, capsys, entry):
     jobs = write_jobs(tmp_path / "jobs.json", [entry])
     assert main(["serve", "--jobs", jobs]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# serve --http: replay the jobs file over the wire
+# ---------------------------------------------------------------------------
+def test_serve_http_round_trip(tmp_path, capsys):
+    jobs = write_jobs(
+        tmp_path / "jobs.json",
+        [
+            {"integrand": "3D-f4", "rel_tol": 1e-3},
+            {"integrand": "3D-f4", "rel_tol": 1e-3, "label": "repeat"},
+        ],
+    )
+    out = tmp_path / "results.json"
+    rc = main(["serve", "--http", "127.0.0.1:0", "--jobs", jobs,
+               "--out", str(out)])
+    stdout = capsys.readouterr().out
+    assert rc == 0
+    assert "serving on http://127.0.0.1:" in stdout
+    assert "2/2 converged over HTTP" in stdout
+
+    payload = json.loads(out.read_text())
+    rows = payload["jobs"]
+    assert [r["http_status"] for r in rows] == [200, 200]
+    assert rows[1]["cache_hit"]
+    # full hex payload travels through the CLI output file too
+    assert (rows[0]["result_hex"]["estimate"]
+            == rows[1]["result_hex"]["estimate"])
+    assert payload["metrics"]["service"]["submitted"] == 2
+
+
+def test_serve_http_durable_replay_across_restarts(tmp_path, capsys):
+    jobs = write_jobs(
+        tmp_path / "jobs.json", [{"integrand": "3D-f4", "rel_tol": 1e-3}]
+    )
+    cache_dir = tmp_path / "cache"
+    first_out = tmp_path / "first.json"
+    second_out = tmp_path / "second.json"
+    argv = ["serve", "--http", "127.0.0.1:0", "--jobs", jobs,
+            "--cache-dir", str(cache_dir)]
+    assert main(argv + ["--out", str(first_out)]) == 0
+    assert main(argv + ["--out", str(second_out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "1 from the durable store" in stdout
+
+    first = json.loads(first_out.read_text())["jobs"][0]
+    second = json.loads(second_out.read_text())["jobs"][0]
+    assert second["cache_hit"]
+    # the restart replay is bit-identical, not approximately equal
+    assert first["result_hex"]["estimate"] == second["result_hex"]["estimate"]
+    assert first["result_hex"]["errorest"] == second["result_hex"]["errorest"]
+    dur = json.loads(second_out.read_text())["metrics"]["service"]["cache"]
+    assert dur["durable_hits"] == 1
+
+
+@pytest.mark.parametrize("addr", ["nope", "8053", ":8053", "host:port"])
+def test_serve_http_rejects_bad_address(tmp_path, capsys, addr):
+    assert main(["serve", "--http", addr]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err

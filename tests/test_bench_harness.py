@@ -278,3 +278,60 @@ def test_batch_bench_members_cover_all_families():
                    "c0", "discontinuous"):
         assert any(family in n for n in names), family
     assert len(names) == 24
+
+
+# ---------------------------------------------------------------------------
+# HTTP traffic-trace benchmark
+# ---------------------------------------------------------------------------
+def test_http_bench_smoke_roundtrip(tmp_path, capsys):
+    data = hz.run_http_bench(smoke=True)
+    assert data["mode"] == "smoke"
+    assert data["suite"] == "pagani-http-bench"
+    n_unique = len(data["unique_jobs"])
+    assert data["n_jobs_per_wave"] == n_unique * data["duplicate_factor"]
+
+    for name, wave in data["waves"].items():
+        assert wave["all_converged"], name
+        # every wave replays bit-identically against cold integrate()
+        assert wave["replay_mismatches"] == [], name
+    assert data["waves"]["warm"]["cache_hit_fraction"] >= 0.5
+    restart = data["waves"]["restart_warm"]
+    # the restart wave never recomputes: a fresh LRU means every hit
+    # was served by the durable SQLite tier
+    assert restart["cache_hit_fraction"] >= 0.9
+    assert restart["fresh_runs"] == 0
+    assert restart["durable_hits"] >= n_unique
+    assert restart["durable_entries"] == n_unique
+    assert hz.http_bench_problems(data) == []
+
+    path = hz.write_http_bench(data, out=tmp_path / "BENCH_http.json")
+    import json
+
+    loaded = json.loads(path.read_text())
+    assert loaded["suite"] == "pagani-http-bench"
+    hz.print_http_bench(data)
+    out = capsys.readouterr().out
+    assert "restart_warm" in out
+    assert "durable" in out
+
+
+def test_committed_http_bench_artifact_claims():
+    """The committed BENCH_http.json must evidence the durability
+    contract: the restart-warm wave serves >=90% of duplicate requests
+    from the durable store, bit-identical to cold integrate()."""
+    import json
+
+    path = hz.RESULTS_DIR / hz.HTTP_BENCH_FILE
+    data = json.loads(path.read_text())
+    assert data["suite"] == "pagani-http-bench"
+    assert data["generated_by"].endswith("harness.py --http")
+    for name, wave in data["waves"].items():
+        assert wave["all_converged"], name
+        assert wave["replay_mismatches"] == [], name
+    assert data["waves"]["warm"]["cache_hit_fraction"] >= 0.5
+    restart = data["waves"]["restart_warm"]
+    assert restart["cache_hit_fraction"] >= 0.9
+    assert restart["durable_hits"] >= len(data["unique_jobs"])
+    # the gate's floors ride inside the payload itself
+    assert data["expectation"]["min_restart_hit_rate"] >= 0.9
+    assert hz.http_bench_problems(data) == []

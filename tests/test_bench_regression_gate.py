@@ -118,3 +118,79 @@ def test_committed_baseline_is_loadable():
     data = gate.load(gate.DEFAULT_BASELINE)
     assert "numpy" in data["backends"]
     assert gate.backend_rate(data["backends"]["numpy"]) > 0
+
+
+# ---------------------------------------------------------------------------
+# pagani-http-bench payloads (waves schema; no baseline comparison)
+# ---------------------------------------------------------------------------
+def http_payload(warm_hits=1.0, restart_hits=1.0, converged=True,
+                 mismatches=()):
+    def wave(hit_fraction):
+        return {
+            "all_converged": converged,
+            "replay_mismatches": list(mismatches),
+            "cache_hit_fraction": hit_fraction,
+            "fresh_runs": 0 if hit_fraction == 1.0 else 2,
+            "wall_seconds": 1.0,
+        }
+
+    return {
+        "schema": 1,
+        "suite": "pagani-http-bench",
+        "waves": {
+            "cold": wave(0.5),
+            "warm": wave(warm_hits),
+            "restart_warm": wave(restart_hits),
+        },
+        "expectation": {
+            "min_warm_hit_rate": 0.5,
+            "min_restart_hit_rate": 0.9,
+        },
+    }
+
+
+def run_http(tmp_path, current):
+    # no --baseline: http payloads must gate without one
+    return gate.main(["--current", write(tmp_path, "http.json", current)])
+
+
+def test_http_payload_ok(tmp_path, capsys):
+    assert run_http(tmp_path, http_payload()) == 0
+    out = capsys.readouterr().out
+    assert "benchmark gate OK" in out
+    assert "restart_warm" in out
+
+
+def test_http_dnf_is_fatal(tmp_path, capsys):
+    assert run_http(tmp_path, http_payload(converged=False)) == 1
+    assert "non-converged" in capsys.readouterr().err
+
+
+def test_http_replay_mismatch_is_fatal(tmp_path, capsys):
+    bad = http_payload(mismatches=["3D-f4@1e-3: estimate bits differ"])
+    assert run_http(tmp_path, bad) == 1
+    assert "disagree with cold integrate()" in capsys.readouterr().err
+
+
+def test_http_warm_hit_rate_floor(tmp_path, capsys):
+    assert run_http(tmp_path, http_payload(warm_hits=0.4)) == 1
+    assert "warm wave hit rate" in capsys.readouterr().err
+
+
+def test_http_restart_hit_rate_floor(tmp_path, capsys):
+    assert run_http(tmp_path, http_payload(restart_hits=0.8)) == 1
+    assert "durable store did not survive" in capsys.readouterr().err
+
+
+def test_http_payload_without_waves_exit_2(tmp_path):
+    broken = {"schema": 1, "suite": "pagani-http-bench"}
+    with pytest.raises(SystemExit) as exc:
+        run_http(tmp_path, broken)
+    assert exc.value.code == 2
+
+
+def test_committed_http_artifact_passes_gate(capsys):
+    path = (Path(__file__).parent.parent / "benchmarks" / "results"
+            / "BENCH_http.json")
+    assert gate.main(["--current", str(path)]) == 0
+    assert "benchmark gate OK" in capsys.readouterr().out

@@ -21,6 +21,13 @@ Hard checks (always fatal, tolerance-independent):
 * every smoke row agrees with the numpy reference
   (``matches_numpy``) — a silent numerics change is worse than a slowdown.
 
+When ``--current`` holds a ``pagani-http-bench`` payload (the HTTP
+traffic-trace benchmark), the gate switches to that schema's hard
+checks instead: every wave converged (DNF fatal), every replay is
+bit-identical to cold ``integrate()`` (replay-mismatch fatal), and the
+warm / restart-warm cache-hit-rate floors hold.  No baseline or rate
+comparison applies — loopback wall clock is noise.
+
 Exit codes: 0 OK, 1 regression/mismatch, 2 structural problem (missing
 file, malformed payload).
 
@@ -58,9 +65,53 @@ def load(path: Path) -> dict:
         raise structural(f"error: cannot read {path}: {exc}")
     except ValueError as exc:
         raise structural(f"error: {path} is not valid JSON: {exc}")
+    if data.get("suite") == "pagani-http-bench":
+        # HTTP traffic-trace payload: waves instead of backend rows.
+        if "waves" not in data or not isinstance(data["waves"], dict):
+            raise structural(f"error: {path} has no 'waves' section")
+        return data
     if "backends" not in data or not isinstance(data["backends"], dict):
         raise structural(f"error: {path} has no 'backends' section")
     return data
+
+
+def check_http_bench(current: dict) -> list:
+    """Hard checks for a ``pagani-http-bench`` payload (no baseline
+    comparison — wall clock over a loopback socket is noise; the claims
+    are correctness claims: every wave converged, every replay is
+    bit-identical, and the hit-rate floors hold)."""
+    failures = []
+    waves = current["waves"]
+    exp = current.get("expectation", {})
+    for name, wave in waves.items():
+        if not wave.get("all_converged", False):
+            failures.append(f"http {name} wave: non-converged jobs (DNF)")
+        if wave.get("replay_mismatches"):
+            failures.append(
+                f"http {name} wave: replays disagree with cold integrate() "
+                f"({wave['replay_mismatches']})"
+            )
+    warm_floor = exp.get("min_warm_hit_rate", 0.5)
+    if waves["warm"]["cache_hit_fraction"] < warm_floor:
+        failures.append(
+            f"http warm wave hit rate "
+            f"{waves['warm']['cache_hit_fraction']:.2f} below {warm_floor}"
+        )
+    restart = waves.get("restart_warm")
+    if restart is not None:
+        restart_floor = exp.get("min_restart_hit_rate", 0.9)
+        if restart["cache_hit_fraction"] < restart_floor:
+            failures.append(
+                f"http restart-warm hit rate "
+                f"{restart['cache_hit_fraction']:.2f} below {restart_floor} "
+                "— the durable store did not survive the restart"
+            )
+    print(f"{'wave':<14} {'hit rate':>9} {'fresh':>6}  bits")
+    for name, wave in waves.items():
+        bits = "MISMATCH" if wave.get("replay_mismatches") else "OK"
+        print(f"{name:<14} {wave['cache_hit_fraction']:>8.0%} "
+              f"{wave['fresh_runs']:>6}  {bits}")
+    return failures
 
 
 def rate_per_meval(row: dict) -> float:
@@ -97,8 +148,18 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
 
-    baseline = load(args.baseline)
     current = load(args.current)
+    if current.get("suite") == "pagani-http-bench":
+        failures = check_http_bench(current)
+        if failures:
+            print("\nFAIL:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nbenchmark gate OK")
+        return 0
+
+    baseline = load(args.baseline)
     gated = [b.strip() for b in args.backends.split(",") if b.strip()]
 
     failures = []
