@@ -1522,6 +1522,300 @@ def print_process_bench(data: dict) -> None:
               f"{exp['min_cores']}: speedup expectation not enforced")
 
 
+# ---------------------------------------------------------------------------
+# Adaptive-routing benchmark (--routing): BENCH_routing.json.
+#
+# Two traffic shapes bound the policy from both sides: a *tiny-job
+# trace* (where a pinned pool pays dispatch per job and numpy should
+# win) and the *fig5/fig6 fused sweep* (where the pool should win on a
+# multi-core host).  On each, "auto" must land within
+# ROUTING_AUTO_MAX_RATIO of the best fixed backend — the router's whole
+# value is not having to know which shape is coming.
+#
+# The same artifact times the process backend's two IPC transports
+# (shared-memory arenas vs per-chunk pickling) at a fixed width; the
+# shm-at-least-as-fast expectation is enforced on >=
+# ROUTING_IPC_MIN_CORES cores (a 1-core container records the
+# measurement honestly but cannot demonstrate pool-side gains).
+# ---------------------------------------------------------------------------
+ROUTING_BENCH_FILE = "BENCH_routing.json"
+
+#: auto wall clock may exceed the best fixed backend by at most this
+#: factor (smoke runs relax it: CI runner timing noise on sub-second
+#: traces is larger than the margin under test)
+ROUTING_AUTO_MAX_RATIO = 1.10
+ROUTING_AUTO_MAX_RATIO_SMOKE = 1.50
+
+ROUTING_IPC_MIN_CORES = 4
+ROUTING_TINY_REL_TOL = 1e-3
+
+
+def routing_tiny_trace(smoke: bool = False) -> List[Integrand]:
+    """Small-job traffic: the shape that punishes a pinned pool."""
+    from repro.integrands.catalog import named_integrand
+
+    specs = (
+        ["3d-f4"] * 3
+        if smoke
+        else ["2d-f4", "3d-f4", "3d-f3", "2d-f2", "3d-f2"] * 2
+    )
+    return [named_integrand(spec) for spec in specs]
+
+
+def _routing_backend_close(bk) -> None:
+    close = getattr(bk, "close", None)
+    if callable(close):
+        close()
+
+
+def _time_tiny_trace(members, backend) -> dict:
+    """Sequential integrate() per member on one pinned backend instance."""
+    import time as _time
+
+    from repro.api import integrate
+
+    t0 = _time.perf_counter()
+    results = [
+        integrate(f, f.ndim, rel_tol=ROUTING_TINY_REL_TOL, backend=backend)
+        for f in members
+    ]
+    wall = _time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "converged_all": all(r.converged for r in results),
+        "results": results,
+    }
+
+
+def _time_fused_sweep(members, backend) -> dict:
+    """One integrate_many() batch on one backend."""
+    import time as _time
+
+    from repro.api import integrate_many
+
+    t0 = _time.perf_counter()
+    results = integrate_many(
+        members, rel_tol=PROCESS_REL_TOL, backend=backend,
+        max_iterations=PROCESS_MAX_ITERATIONS,
+    )
+    wall = _time.perf_counter() - t0
+    return {
+        "wall_seconds": wall,
+        "converged_all": all(r.converged for r in results),
+        "results": results,
+    }
+
+
+def _routing_scenario(members, timer, fixed_specs) -> dict:
+    """Time fixed backends and "auto" on one traffic shape."""
+    import math as _math
+    import sys as _sys
+
+    from repro.backends import BackendUnavailableError, get_backend
+
+    fixed: Dict[str, dict] = {}
+    reference = None
+    for spec in fixed_specs:
+        try:
+            bk = get_backend(spec)
+        except BackendUnavailableError as exc:
+            print(f"skipping backend {spec!r}: {exc}", file=_sys.stderr)
+            continue
+        try:
+            run = timer(members, bk)
+        finally:
+            _routing_backend_close(bk)
+        if spec == "numpy":
+            reference = run["results"]
+        fixed[spec] = {
+            "wall_seconds": run["wall_seconds"],
+            "converged_all": run["converged_all"],
+        }
+
+    auto_run = timer(members, "auto")
+    agree = None
+    if reference is not None:
+        agree = all(
+            _math.isclose(a.estimate, r.estimate, rel_tol=1e-12, abs_tol=0.0)
+            and _math.isclose(
+                a.errorest, r.errorest, rel_tol=1e-9, abs_tol=1e-300
+            )
+            for a, r in zip(auto_run["results"], reference)
+        )
+    best_fixed = min(fixed, key=lambda s: fixed[s]["wall_seconds"])
+    ratio = auto_run["wall_seconds"] / fixed[best_fixed]["wall_seconds"]
+    return {
+        "workload": [f.spec for f in members],
+        "fixed": fixed,
+        "auto": {
+            "wall_seconds": auto_run["wall_seconds"],
+            "converged_all": auto_run["converged_all"],
+            "agrees_with_numpy": agree,
+        },
+        "best_fixed": best_fixed,
+        "auto_vs_best_ratio": ratio,
+    }
+
+
+def _routing_ipc_compare(members, width: int) -> dict:
+    """shm vs per-chunk pickle transport at one real pool width."""
+    from repro.backends.process import (
+        ProcessNumpyBackend,
+        process_pool_available,
+        shared_memory_available,
+    )
+
+    if not process_pool_available():
+        return {"available": False, "reason": "no process pool on this host"}
+    if not shared_memory_available():
+        return {"available": False, "reason": "no shared memory on this host"}
+    out: Dict[str, object] = {"available": True, "width": width}
+    for ipc in ("shm", "pickle"):
+        bk = ProcessNumpyBackend(num_workers=width, ipc=ipc)
+        try:
+            run = _time_fused_sweep(members, bk)
+        finally:
+            bk.close()
+        neval = sum(r.neval for r in run["results"])
+        out[ipc] = {
+            "wall_seconds": run["wall_seconds"],
+            "converged_all": run["converged_all"],
+            "neval": neval,
+            "s_per_meval": run["wall_seconds"] / (neval / 1e6),
+        }
+    out["shm_speedup_vs_pickle"] = (
+        out["pickle"]["s_per_meval"] / out["shm"]["s_per_meval"]
+    )
+    return out
+
+
+def run_routing_bench(smoke: bool = False) -> dict:
+    """Benchmark the auto routing policy and the shm IPC transport."""
+    import platform
+
+    from repro.backends.process import process_pool_available
+    from repro.backends.routing import shared_router
+    from repro.cubature.rules import get_rule
+
+    tiny = routing_tiny_trace(smoke=smoke)
+    sweep = process_bench_members(smoke=smoke)
+    for f in tiny + sweep:
+        get_rule(f.ndim)
+
+    fixed_specs = ["numpy", "threaded"]
+    if process_pool_available():
+        fixed_specs.append("process")
+
+    scenarios = {
+        "tiny_trace": _routing_scenario(tiny, _time_tiny_trace, fixed_specs),
+        "fused_sweep": _routing_scenario(sweep, _time_fused_sweep, fixed_specs),
+    }
+    cpus = os.cpu_count() or 1
+    ipc = _routing_ipc_compare(sweep, width=max(2, cpus))
+
+    max_ratio = ROUTING_AUTO_MAX_RATIO_SMOKE if smoke else ROUTING_AUTO_MAX_RATIO
+    return {
+        "schema": 1,
+        "suite": "pagani-routing-bench",
+        "mode": "smoke" if smoke else ("full" if full_mode() else "quick"),
+        "generated_by": "PYTHONPATH=src python benchmarks/harness.py --routing",
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": cpus,
+        },
+        "router": shared_router().stats(),
+        "scenarios": scenarios,
+        "ipc": ipc,
+        "expectation": {
+            "auto_max_ratio_vs_best_fixed": max_ratio,
+            "ipc_min_cores": ROUTING_IPC_MIN_CORES,
+            "ipc_enforced_on_this_host": (
+                bool(ipc.get("available")) and cpus >= ROUTING_IPC_MIN_CORES
+            ),
+        },
+    }
+
+
+def routing_bench_problems(data: dict) -> List[str]:
+    """Hard-failure list for --routing (shared with the CI gate)."""
+    problems: List[str] = []
+    max_ratio = data["expectation"]["auto_max_ratio_vs_best_fixed"]
+    for name, sc in data["scenarios"].items():
+        if not sc["auto"]["converged_all"]:
+            problems.append(f"{name}: auto run did not converge")
+        if sc["auto"]["agrees_with_numpy"] is False:
+            problems.append(f"{name}: auto results disagree with numpy")
+        for spec, d in sc["fixed"].items():
+            if not d["converged_all"]:
+                problems.append(f"{name}/{spec}: fixed run did not converge")
+        if sc["auto_vs_best_ratio"] > max_ratio:
+            problems.append(
+                f"{name}: auto {sc['auto']['wall_seconds']:.3f}s is "
+                f"{sc['auto_vs_best_ratio']:.2f}x the best fixed backend "
+                f"({sc['best_fixed']}), above the {max_ratio}x bound"
+            )
+    ipc = data["ipc"]
+    if ipc.get("available"):
+        for t in ("shm", "pickle"):
+            if not ipc[t]["converged_all"]:
+                problems.append(f"ipc/{t}: run did not converge")
+        if (
+            data["expectation"]["ipc_enforced_on_this_host"]
+            and ipc["shm_speedup_vs_pickle"] < 1.0
+        ):
+            problems.append(
+                f"shm transport is slower than pickle "
+                f"({ipc['shm_speedup_vs_pickle']:.2f}x) on a "
+                f"{data['host']['cpus']}-core host"
+            )
+    return problems
+
+
+def write_routing_bench(data: dict, out: Optional[Path] = None) -> Path:
+    """Write the routing-benchmark payload as pretty JSON; return the path."""
+    return _write_bench_json(data, out, ROUTING_BENCH_FILE)
+
+
+def print_routing_bench(data: dict) -> None:
+    body = []
+    for name, sc in data["scenarios"].items():
+        for spec in sorted(sc["fixed"]):
+            d = sc["fixed"][spec]
+            body.append([
+                name, spec, f"{d['wall_seconds']:.3f}s", "-",
+                "yes" if d["converged_all"] else "NO",
+            ])
+        body.append([
+            name, "auto", f"{sc['auto']['wall_seconds']:.3f}s",
+            f"{sc['auto_vs_best_ratio']:.2f}x vs {sc['best_fixed']}",
+            "yes" if sc["auto"]["converged_all"] else "NO",
+        ])
+    print_table(
+        f"Adaptive-routing benchmark ({data['mode']}, "
+        f"{data['host']['cpus']} cores)",
+        ["scenario", "backend", "wall", "auto ratio", "converged"],
+        body,
+    )
+    ipc = data["ipc"]
+    if ipc.get("available"):
+        print(
+            f"process IPC at width {ipc['width']}: "
+            f"shm {ipc['shm']['s_per_meval']:.4f} s/Meval vs pickle "
+            f"{ipc['pickle']['s_per_meval']:.4f} s/Meval "
+            f"({ipc['shm_speedup_vs_pickle']:.2f}x)"
+        )
+    else:
+        print(f"process IPC comparison skipped: {ipc.get('reason')}")
+    exp = data["expectation"]
+    if not exp["ipc_enforced_on_this_host"]:
+        print(
+            f"host has {data['host']['cpus']} core(s) < "
+            f"{exp['ipc_min_cores']}: shm-vs-pickle expectation not enforced"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry: run the backend benchmark and write BENCH_backends.json."""
     import argparse
@@ -1573,17 +1867,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"(writes results/{HTTP_BENCH_FILE})",
     )
     ap.add_argument(
+        "--routing", action="store_true",
+        help="run the adaptive-routing benchmark instead: auto vs fixed "
+        "backends on a tiny-job trace and the fig5/fig6 fused sweep, plus "
+        "the shm-vs-pickle process IPC comparison "
+        f"(writes results/{ROUTING_BENCH_FILE})",
+    )
+    ap.add_argument(
         "--out", default=None,
         help="output path (default: results/"
         f"{BACKEND_BENCH_FILE}, {BATCH_BENCH_FILE} or {SERVICE_BENCH_FILE})",
     )
     args = ap.parse_args(argv)
 
-    if sum((args.batch, args.service, args.process, args.http)) > 1:
-        print("error: pick one of --batch / --service / --process / --http",
+    if sum((args.batch, args.service, args.process, args.http,
+            args.routing)) > 1:
+        print("error: pick one of --batch / --service / --process / --http "
+              "/ --routing",
               file=sys.stderr)
         return 2
     backends = args.backends.split(",") if args.backends else None
+    if args.routing:
+        data = run_routing_bench(smoke=args.smoke)
+        path = write_routing_bench(data, out=args.out)
+        print_routing_bench(data)
+        print(f"\nwrote {path}")
+        problems = routing_bench_problems(data)
+        for problem in problems:
+            print(f"WARNING: {problem}")
+        return 1 if problems else 0
     if args.http:
         data = run_http_bench(smoke=args.smoke)
         path = write_http_bench(data, out=args.out)

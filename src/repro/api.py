@@ -92,8 +92,11 @@ def integrate(
         ``"process:<N>"``, ``"cupy"``, or an
         :class:`~repro.backends.base.ArrayBackend` instance.  Host
         backends produce results identical to the NumPy reference; see
-        :mod:`repro.backends`.  Only ``method="pagani"`` accepts a
-        non-default backend.
+        :mod:`repro.backends`.  ``"auto"`` routes this call through the
+        process-wide :class:`~repro.backends.routing.BackendRouter`
+        (cheapest adequate backend for the job's predicted first-sweep
+        cost; the observed timing refines later decisions).  Only
+        ``method="pagani"`` accepts a non-default backend.
 
     Returns
     -------
@@ -122,6 +125,16 @@ def integrate(
     ... )
     >>> fast.estimate == res.estimate
     True
+
+    ``backend="auto"`` picks the backend per job (tiny sweeps stay on
+    numpy; big ones go to a process pool when the host has cores):
+
+    >>> routed = integrate(
+    ...     lambda x: np.exp(-np.sum(x**2, axis=1)), ndim=3, rel_tol=1e-4,
+    ...     backend="auto",
+    ... )
+    >>> routed.estimate == res.estimate
+    True
     """
     if method not in _METHODS:
         raise ConfigurationError(f"unknown method {method!r}; pick one of {_METHODS}")
@@ -134,6 +147,12 @@ def integrate(
         )
 
     if method == "pagani":
+        router = None
+        if isinstance(backend, str) and backend == "auto":
+            from repro.backends.routing import shared_router
+
+            router = shared_router()
+            backend = router.decide(ndim=ndim, rel_tol=rel_tol).backend
         cfg = PaganiConfig(
             rel_tol=rel_tol, abs_tol=abs_tol, relerr_filtering=relerr_filtering,
             backend=backend if backend is not None else "numpy",
@@ -143,6 +162,10 @@ def integrate(
         result = PaganiIntegrator(cfg, device=device).integrate(
             integrand, ndim, bounds=bounds
         )
+        if router is not None:
+            router.observe(
+                backend, result.neval, getattr(result, "wall_seconds", 0.0) or 0.0
+            )
     elif method == "cuhre":
         cfg = CuhreConfig(rel_tol=rel_tol, abs_tol=abs_tol)
         if max_eval is not None:
@@ -263,6 +286,9 @@ def integrate_many(
         machine-precision agreement rather than bit-identity — the same
         contract the ``"cupy"`` backend always has; cupy itself keeps
         the large reference chunks (a device wants big launches).
+        ``"auto"`` routes the whole batch through the process-wide
+        :class:`~repro.backends.routing.BackendRouter` using the summed
+        first-sweep cost of all members.
     chunk_budget:
         Override the per-member chunk budget (floats per chunk).  Default:
         the backend's ``preferred_batch_chunk_budget`` when it declares
@@ -342,6 +368,13 @@ def integrate_many(
             )
     member_bounds = _resolve_member_bounds(bounds, ndims)
 
+    router = None
+    if isinstance(backend, str) and backend == "auto":
+        from repro.backends.routing import shared_router
+
+        router = shared_router()
+        backend = router.decide_batch(ndims, rel_tol=rel_tol).backend
+
     bk = get_backend(backend)
     budget = PaganiConfig.resolve_chunk_budget(bk, chunk_budget)
 
@@ -382,6 +415,14 @@ def integrate_many(
         ref = getattr(f, "reference", None)
         if res is not None and ref is not None:
             res.true_value = float(ref)
+    if router is not None:
+        live = [r for r in results if r is not None]
+        if live:
+            router.observe(
+                bk.name,
+                sum(r.neval for r in live),
+                max(getattr(r, "wall_seconds", 0.0) or 0.0 for r in live),
+            )
     return (results, scheduler.stats) if return_stats else results
 
 
@@ -411,7 +452,9 @@ def serve_jobs(
     max_concurrent / backend / cache / cache_entries / chunk_budget / shards:
         Forwarded to :class:`~repro.service.IntegrationService`
         (``shards=K`` serves the queue with ``K`` independent worker
-        rotations, each pinned to its own backend instance).
+        rotations, each pinned to its own backend instance;
+        ``backend="auto"`` routes each admitted job to the cheapest
+        adequate backend and fingerprints record the *resolved* one).
     service:
         Use an existing service instead of building one.  The caller
         keeps ownership: the service is *not* shut down and may hold
@@ -487,7 +530,8 @@ def serve_http(
         Bind address.  ``port=0`` picks a free port — read it back from
         ``server.port`` / ``server.url``.
     max_concurrent / backend / shards / cache_entries / collect_traces:
-        Forwarded to :class:`~repro.service.IntegrationService`.
+        Forwarded to :class:`~repro.service.IntegrationService`
+        (``backend="auto"`` enables per-job adaptive routing).
     cache_dir:
         When given, results are also persisted to a SQLite store under
         this directory (:class:`~repro.service.TieredResultCache`):

@@ -51,14 +51,22 @@ def _resolve_backend(spec: str):
     Unknown names are hard errors (a typo should not silently change the
     run); *known but unavailable* backends — cupy on a CUDA-less host —
     degrade to the reference backend with a warning, so scripts written
-    for GPU boxes still run everywhere.
+    for GPU boxes still run everywhere.  ``"auto"`` is passed through as
+    the spec string: the router resolves it per job, not the CLI.
     """
+    if spec == "auto":
+        return "auto"
     try:
         return get_backend(spec)
     except BackendUnavailableError as exc:
         print(f"warning: backend {spec!r} unavailable ({exc}); "
               "falling back to numpy", file=sys.stderr)
         return get_backend("numpy")
+
+
+def _backend_name(backend) -> str:
+    """Display name for a resolved backend (spec string or instance)."""
+    return backend if isinstance(backend, str) else backend.name
 
 
 def _print_result(res, truth: Optional[float]) -> None:
@@ -82,8 +90,9 @@ def main(argv: Optional[list] = None) -> int:
     run.add_argument(
         "--backend", default="numpy",
         help="execution backend for PAGANI: numpy (default), threaded, "
-        "threaded:<N>, process, process:<N>, cupy; unavailable backends "
-        "fall back to numpy with a warning",
+        "threaded:<N>, process, process:<N>, cupy, or auto (route to the "
+        "cheapest adequate backend); unavailable backends fall back to "
+        "numpy with a warning",
     )
 
     comp = sub.add_parser("compare", help="run all methods on one integrand")
@@ -111,7 +120,8 @@ def main(argv: Optional[list] = None) -> int:
         "--backend", default="numpy",
         help="shared execution backend for the whole batch (numpy keeps "
         "results bit-identical to sequential runs; threaded/process fuse "
-        "the members' evaluation chunks for throughput)",
+        "the members' evaluation chunks for throughput; auto routes the "
+        "batch by its summed first-sweep cost)",
     )
     batch.add_argument(
         "--chunk-budget", type=int, default=None,
@@ -154,7 +164,8 @@ def main(argv: Optional[list] = None) -> int:
     serve.add_argument(
         "--backend", default="numpy",
         help="execution backend spec for every job (each shard resolves "
-        "its own instance)",
+        "its own instance); auto routes each job adaptively and jobs "
+        "may pin their own with a per-job \"backend\" field",
     )
     serve.add_argument(
         "--shards", type=int, default=1,
@@ -260,7 +271,7 @@ def _run_batch(args) -> int:
               f"{res.iterations:>5}  {true_s}")
     n_ok = sum(r.converged for r in results)
     print(f"\n{n_ok}/{len(results)} converged in {wall:.2f} s on backend "
-          f"{backend.name!r} ({stats.rounds} rounds, "
+          f"{_backend_name(backend)!r} ({stats.rounds} rounds, "
           f"{stats.chunks_submitted} fused chunks, "
           f"{stats.fused_submissions} submissions)")
     return 0 if n_ok == len(results) else 1
@@ -316,7 +327,7 @@ def _run_serve(args) -> int:
     backend_arg = (
         backend
         if args.shards == 1
-        else (args.backend if backend.name == requested else "numpy")
+        else (args.backend if _backend_name(backend) == requested else "numpy")
     )
     cache_arg = not args.no_cache
     if args.cache_dir is not None and not args.no_cache:
@@ -375,7 +386,8 @@ def _run_serve(args) -> int:
               f"  {order:>5}")
     n_ok = sum(r.get("converged", False) for r in rows)
     cache = stats.get("cache") or {}
-    print(f"\n{n_ok}/{len(rows)} converged on backend {backend.name!r} "
+    print(f"\n{n_ok}/{len(rows)} converged on backend "
+          f"{_backend_name(backend)!r} "
           f"x{stats['shards']} shard(s) ({stats['rounds']} rotation rounds, "
           f"{cache.get('hits', 0)} cache hits, "
           f"{stats['coalesced']} coalesced)")
@@ -447,7 +459,7 @@ def _run_serve_http(args) -> int:
     backend_arg = (
         backend
         if args.shards == 1
-        else (args.backend if backend.name == requested else "numpy")
+        else (args.backend if _backend_name(backend) == requested else "numpy")
     )
 
     server = serve_http(
@@ -457,7 +469,7 @@ def _run_serve_http(args) -> int:
         max_queued=args.max_queued,
     )
     print(f"serving on {server.url} "
-          f"(backend {backend.name!r} x{args.shards} shard(s)"
+          f"(backend {_backend_name(backend)!r} x{args.shards} shard(s)"
           f"{', durable cache ' + args.cache_dir if args.cache_dir else ''})")
     if entries is None:
         # long-running mode: block until Ctrl-C

@@ -97,14 +97,19 @@ class ResultCache:
                 return None
             self._entries.move_to_end(fingerprint)
             self.hits += 1
-            return copy.deepcopy(entry)
+        # Deep-copying a trace-laden result can take milliseconds; doing
+        # it under the lock would stall every shard and HTTP thread
+        # behind one large replay.  Copying outside is safe because
+        # stored entries are private deep copies nobody mutates.
+        return copy.deepcopy(entry)
 
     def put(self, fingerprint: str, result: IntegrationResult) -> None:
         """Store (a deep copy of) a finished result, evicting LRU."""
+        snapshot = copy.deepcopy(result)  # outside the lock, see get()
         with self._lock:
             if fingerprint in self._entries:
                 self._entries.move_to_end(fingerprint)
-            self._entries[fingerprint] = copy.deepcopy(result)
+            self._entries[fingerprint] = snapshot
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1

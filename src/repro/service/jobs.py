@@ -68,6 +68,13 @@ class JobSpec:
     ``priority`` is a positive integer; larger runs sooner *and* faster
     (admission order and a priority-proportional share of the rotation —
     see ``docs/service.md``).
+
+    ``backend`` is a per-job execution override: a spec string like
+    ``"numpy"`` or ``"process:4"`` pins this job regardless of the
+    service's backend (the escape hatch of the ``auto`` routing policy),
+    ``"auto"`` asks for routing explicitly, ``None`` (default) defers to
+    the service.  The cache fingerprint records the backend the job
+    actually ran on, so overrides cannot alias cache entries.
     """
 
     integrand: Union[str, Callable[[np.ndarray], np.ndarray]]
@@ -79,16 +86,22 @@ class JobSpec:
     label: Optional[str] = None
     max_iterations: Optional[int] = None
     relerr_filtering: Optional[bool] = None
+    backend: Optional[str] = None
 
     _FIELDS = (
         "integrand", "ndim", "bounds", "rel_tol", "abs_tol", "priority",
-        "label", "max_iterations", "relerr_filtering",
+        "label", "max_iterations", "relerr_filtering", "backend",
     )
 
     def validate(self) -> None:
         if not (isinstance(self.priority, int) and self.priority >= 1):
             raise ConfigurationError(
                 f"priority must be a positive integer, got {self.priority!r}"
+            )
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ConfigurationError(
+                "job backend must be a spec string like 'numpy', "
+                f"'process:4' or 'auto', got {self.backend!r}"
             )
         if not (0.0 < self.rel_tol < 1.0):
             raise ConfigurationError(

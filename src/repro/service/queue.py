@@ -11,9 +11,13 @@ Ordering (most-urgent first):
    convoying behind an expensive same-priority neighbour.
 3. **submission order** — FIFO tie-break, for determinism.
 
-Cancellation is lazy: :meth:`JobQueue.pop` silently discards entries
-whose handle left the ``QUEUED`` state (a queued job cancels by flipping
-its own status — no heap surgery required).
+Cancellation is lazy — a queued job cancels by flipping its own status,
+no heap surgery — but not *unboundedly* lazy: every entry registers a
+done-callback that keeps a live queued-count exact (``__len__`` is O(1);
+the HTTP admission gate calls it on every POST) and counts the dead
+entries still parked in the heap.  Once the dead outnumber the live past
+a threshold the heap is compacted in one pass, so a cancel-heavy client
+cannot grow the heap without bound.
 """
 
 from __future__ import annotations
@@ -25,14 +29,41 @@ from typing import List, Optional, Tuple
 
 from repro.service.jobs import JobHandle, JobStatus
 
+#: dead entries tolerated in the heap before a compaction pass; the heap
+#: is also compacted whenever dead entries outnumber live ones beyond
+#: this floor (amortised O(1) per push/cancel either way).
+COMPACT_DEAD_THRESHOLD = 64
+
+
+class _Entry:
+    """One heap slot: the handle plus its removed-from-queue flag.
+
+    ``removed`` flips exactly once — either when ``pop``/``peek``
+    physically discards the slot, or when the handle's done-callback
+    fires first (cancellation while queued).  Whoever flips it owns the
+    live-count decrement, so the count stays exact under races between
+    the two paths.
+    """
+
+    __slots__ = ("handle", "removed")
+
+    def __init__(self, handle: JobHandle):
+        self.handle = handle
+        self.removed = False
+
 
 class JobQueue:
     """Priority queue of :class:`~repro.service.jobs.JobHandle`."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._heap: List[Tuple[int, float, int, JobHandle]] = []
+        self._heap: List[Tuple[int, float, int, _Entry]] = []
         self._seq = itertools.count()
+        #: entries pushed and not yet removed (== still-queued jobs,
+        #: modulo the instant between a cancel and its callback)
+        self._queued = 0
+        #: removed entries still physically parked in the heap
+        self._dead = 0
 
     @staticmethod
     def _key(handle: JobHandle, seq: int) -> Tuple[int, float, int]:
@@ -42,37 +73,97 @@ class JobQueue:
 
     # ------------------------------------------------------------------
     def push(self, handle: JobHandle) -> None:
+        entry = _Entry(handle)
         with self._lock:
             seq = next(self._seq)
-            heapq.heappush(self._heap, (*self._key(handle, seq), handle))
+            heapq.heappush(self._heap, (*self._key(handle, seq), entry))
+            self._queued += 1
+        # Registered outside the queue lock: a handle that is already
+        # terminal runs the callback immediately, and the callback takes
+        # the queue lock itself.
+        handle.add_done_callback(lambda _h, e=entry: self._entry_done(e))
+
+    def _entry_done(self, entry: _Entry) -> None:
+        """Done-callback: account for an entry that left QUEUED.
+
+        Fires on every terminal transition — including the ordinary
+        pop → run → done path, where ``removed`` is already set and this
+        is a no-op.  Only a cancel-while-queued reaches the accounting.
+        """
+        with self._lock:
+            if entry.removed:
+                return
+            entry.removed = True
+            self._queued -= 1
+            self._dead += 1
+            self._maybe_compact_locked()
+
+    def _maybe_compact_locked(self) -> None:
+        """Rebuild the heap once dead entries dominate (amortised O(1))."""
+        if self._dead <= COMPACT_DEAD_THRESHOLD or self._dead <= self._queued:
+            return
+        self._heap = [item for item in self._heap if not item[-1].removed]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
+    # ------------------------------------------------------------------
+    def _discard_locked(self, entry: _Entry) -> None:
+        """Account for an entry physically popped off the heap."""
+        if entry.removed:
+            self._dead -= 1
+        else:
+            entry.removed = True
+            self._queued -= 1
 
     def pop(self) -> Optional[JobHandle]:
         """Most-urgent still-queued handle, or None when empty."""
         with self._lock:
             while self._heap:
-                handle = heapq.heappop(self._heap)[-1]
-                if handle.status is JobStatus.QUEUED:
-                    return handle
+                entry = heapq.heappop(self._heap)[-1]
+                still_queued = (
+                    not entry.removed
+                    and entry.handle.status is JobStatus.QUEUED
+                )
+                self._discard_locked(entry)
+                if still_queued:
+                    return entry.handle
             return None
 
     def peek(self) -> Optional[JobHandle]:
         with self._lock:
             while self._heap:
-                handle = self._heap[0][-1]
-                if handle.status is JobStatus.QUEUED:
-                    return handle
-                heapq.heappop(self._heap)  # drop the cancelled entry
+                entry = self._heap[0][-1]
+                if (
+                    not entry.removed
+                    and entry.handle.status is JobStatus.QUEUED
+                ):
+                    return entry.handle
+                heapq.heappop(self._heap)  # drop the dead entry
+                self._discard_locked(entry)
             return None
 
     def __len__(self) -> int:
-        """Number of still-queued entries (cancelled ones excluded)."""
+        """Number of still-queued entries (cancelled ones excluded).
+
+        O(1): a live counter maintained by push/pop and the handles'
+        done-callbacks — this runs on every HTTP POST (admission
+        control), so it must not scan the heap.
+        """
         with self._lock:
-            return sum(
-                1 for *_, h in self._heap if h.status is JobStatus.QUEUED
-            )
+            return self._queued
+
+    def heap_size(self) -> int:
+        """Physical heap slots, dead entries included (observability)."""
+        with self._lock:
+            return len(self._heap)
 
     def snapshot(self) -> List[JobHandle]:
         """Still-queued handles in service order (for status displays)."""
         with self._lock:
-            entries = [e for e in self._heap if e[-1].status is JobStatus.QUEUED]
-        return [e[-1] for e in sorted(entries, key=lambda e: e[:3])]
+            entries = [
+                item
+                for item in self._heap
+                if not item[-1].removed
+                and item[-1].handle.status is JobStatus.QUEUED
+            ]
+        return [item[-1].handle for item in sorted(entries, key=lambda e: e[:3])]

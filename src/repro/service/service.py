@@ -69,31 +69,110 @@ class ServiceClosedError(RuntimeError):
     """Submission after :meth:`IntegrationService.shutdown`."""
 
 
-class _Shard:
-    """One worker rotation: a scheduler pinned to one backend instance.
+class _Rotation:
+    """A shard's scheduler set, multiplexed over per-backend schedulers.
 
-    All tables are keyed by the shard-local scheduler member index.
+    A :class:`~repro.batch.BatchScheduler` only accepts runs built on
+    its own backend instance, so a shard that routes jobs to different
+    backends keeps one scheduler per backend and hands out shard-unique
+    member ids.  With a single backend (the pinned-service default) this
+    degenerates to exactly one scheduler — the pre-routing behaviour.
+
+    Owned by one shard worker thread; never shared across threads.
+    """
+
+    def __init__(self) -> None:
+        self._schedulers: Dict[int, BatchScheduler] = {}  # id(backend) ->
+        self._by_member: Dict[int, Tuple[BatchScheduler, int]] = {}
+        self._next_member = 0
+
+    @property
+    def members(self):
+        """All schedulers' member slots (retired tombstones included)."""
+        return [
+            run
+            for sched in self._schedulers.values()
+            for run in sched.members
+        ]
+
+    def add(self, run) -> int:
+        """Enrol a run with the scheduler of its backend; shard-unique id."""
+        key = id(run.backend)
+        sched = self._schedulers.get(key)
+        if sched is None:
+            sched = BatchScheduler(backend=run.backend)
+            self._schedulers[key] = sched
+        index = sched.add(run)
+        member_id = self._next_member
+        self._next_member += 1
+        self._by_member[member_id] = (sched, index)
+        return member_id
+
+    def member(self, member_id: int):
+        sched, index = self._by_member[member_id]
+        return sched.member(index)
+
+    def abandon_member(self, member_id: int) -> None:
+        sched, index = self._by_member[member_id]
+        sched.abandon_member(index)
+
+    def retire_member(self, member_id: int) -> None:
+        sched, index = self._by_member.pop(member_id)
+        sched.retire_member(index)
+
+    def run_round(self, only: Sequence[int]) -> Dict[int, BaseException]:
+        """One fused round per involved scheduler; failures by member id."""
+        by_sched: Dict[int, Tuple[BatchScheduler, List[int]]] = {}
+        for member_id in only:
+            sched, _ = self._by_member[member_id]
+            by_sched.setdefault(id(sched), (sched, []))[1].append(member_id)
+        failures: Dict[int, BaseException] = {}
+        for sched, member_ids in by_sched.values():
+            reverse = {
+                self._by_member[m][1]: m for m in member_ids
+            }
+            try:
+                sched.run_round(only=list(reverse))
+            except BatchMemberError as exc:
+                for index, error in exc.failures.items():
+                    failures[reverse[index]] = error
+        return failures
+
+
+class _Shard:
+    """One worker rotation: schedulers + backend instances for one worker.
+
+    All tables are keyed by the shard-local rotation member id.
     ``members``/``followers``/``weights``/``member_fp`` are read and
     written across threads (stats, cross-shard coalescing) and are only
-    touched under the service condition lock; ``credits``/``resolved``
-    are private to the owning worker thread.
+    touched under the service condition lock; ``credits``/``resolved``/
+    ``routed`` are private to the owning worker thread.
+
+    ``backend`` is the shard's *default* instance (every job, absent
+    routing); ``extras`` caches shard-owned instances for routed /
+    per-job-override backend specs, so repeat decisions reuse pools.
     """
 
     __slots__ = (
         "index", "backend", "scheduler", "members", "resolved", "weights",
-        "credits", "followers", "member_fp", "thread",
+        "credits", "followers", "member_fp", "routed", "extras", "thread",
     )
 
     def __init__(self, index: int, backend: ArrayBackend):
         self.index = index
         self.backend = backend
-        self.scheduler = BatchScheduler(backend=backend)
+        self.scheduler = _Rotation()
         self.members: Dict[int, JobHandle] = {}
         self.resolved: Dict[int, ResolvedJob] = {}
         self.weights: Dict[int, int] = {}
         self.credits: Dict[int, float] = {}
         self.followers: Dict[int, List[JobHandle]] = {}
         self.member_fp: Dict[int, str] = {}
+        #: member id -> (resolved backend name, admit perf_counter) for
+        #: feeding observed sweep timings back to the router
+        self.routed: Dict[int, Tuple[str, float]] = {}
+        #: spec string -> shard-owned backend instance (routing/override)
+        self.extras: Dict[str, ArrayBackend] = {}
         self.thread: Optional[threading.Thread] = None
 
 
@@ -113,6 +192,13 @@ class IntegrationService:
         backend instance (its own pool — this is what lets shards
         execute truly concurrently); a shared :class:`ArrayBackend`
         instance is honoured but serialises the shards on one pool.
+        ``"auto"`` enables per-job routing: every admitted job is scored
+        by a :class:`~repro.backends.routing.BackendRouter` (seeded from
+        the committed bench priors, refined by this service's observed
+        timings, pool width autotuned at start on multi-core hosts) and
+        runs on the cheapest adequate backend; its fingerprint records
+        the backend it actually ran on.  A job's own ``JobSpec.backend``
+        always wins over both the pinned spec and the router.
     shards:
         Number of worker rotations (default 1 — the pre-sharding
         behaviour, byte for byte).  Each shard owns one
@@ -159,6 +245,7 @@ class IntegrationService:
         collect_traces: bool = False,
         history_limit: Optional[int] = None,
         shards: int = 1,
+        routing_autotune: bool = True,
     ):
         if max_concurrent < 1:
             raise ConfigurationError("max_concurrent must be >= 1")
@@ -168,6 +255,20 @@ class IntegrationService:
             raise ConfigurationError("history_limit must be >= 0 or None")
         self.history_limit = history_limit
         self.max_concurrent = int(max_concurrent)
+        self._chunk_budget_override = chunk_budget
+        self._router = None
+        if isinstance(backend, str) and backend == "auto":
+            from repro.backends.routing import BackendRouter
+
+            self._router = BackendRouter()
+            if routing_autotune:
+                # Width probe at service start: measure real pool widths
+                # instead of trusting cpu_count (no-op on 1-CPU hosts).
+                self._router.autotune_width()
+            # Routed shards still need a default instance: it anchors
+            # the reference chunk budget and serves as the fallback when
+            # a routed spec fails to build.  numpy is always adequate.
+            backend = "numpy"
         if shards == 1 or isinstance(backend, ArrayBackend):
             # One shard keeps the classic shared-instance resolution; an
             # explicit instance is shared across shards by request.
@@ -235,14 +336,20 @@ class IntegrationService:
         label: Optional[str] = None,
         max_iterations: Optional[int] = None,
         relerr_filtering: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> JobHandle:
-        """Enqueue one job; returns its future-like :class:`JobHandle`."""
+        """Enqueue one job; returns its future-like :class:`JobHandle`.
+
+        ``backend`` is the per-job override spec (see
+        :class:`~repro.service.jobs.JobSpec`); ``None`` defers to the
+        service's backend or routing policy.
+        """
         return self.submit_spec(
             JobSpec(
                 integrand=integrand, ndim=ndim, bounds=bounds,
                 rel_tol=rel_tol, abs_tol=abs_tol, priority=priority,
                 label=label, max_iterations=max_iterations,
-                relerr_filtering=relerr_filtering,
+                relerr_filtering=relerr_filtering, backend=backend,
             )
         )
 
@@ -332,7 +439,10 @@ class IntegrationService:
             "rounds": rounds,
             "coalesced": coalesced,
             "max_concurrent": self.max_concurrent,
-            "backend": self.backend.name,
+            "backend": "auto" if self._router is not None else self.backend.name,
+            "routing": (
+                self._router.stats() if self._router is not None else None
+            ),
             "shards": len(self._shards),
             "per_shard": per_shard,
             "cache": self.cache.stats() if self.cache is not None else None,
@@ -357,10 +467,13 @@ class IntegrationService:
             for shard in self._shards:
                 shard.thread.join()
             # Release the pools of backends this service built (fresh
-            # per-shard instances); shared/caller-owned backends are
-            # untouched.  close() is idempotent, so repeated shutdowns
-            # are safe.
-            for bk in self._owned_backends:
+            # per-shard instances and any routed/override extras);
+            # shared/caller-owned backends are untouched.  close() is
+            # idempotent, so repeated shutdowns are safe.
+            extras = [
+                bk for shard in self._shards for bk in shard.extras.values()
+            ]
+            for bk in self._owned_backends + extras:
                 close = getattr(bk, "close", None)
                 if close is not None:
                     close()
@@ -439,6 +552,41 @@ class IntegrationService:
                 handle._complete(JobStatus.FAILED, exception=exc)
 
     # ------------------------------------------------------------------
+    def _job_backend(
+        self, shard: _Shard, spec: JobSpec, resolved: ResolvedJob
+    ) -> Tuple[ArrayBackend, int]:
+        """The backend instance + chunk grain this job runs on.
+
+        Per-job ``spec.backend`` overrides always win; an ``auto``
+        service routes the rest; a pinned service runs them on the
+        shard default.  Instances for non-default specs are built once
+        per shard and reused (``shard.extras``), so routed jobs keep
+        warm pools exactly like pinned ones.
+        """
+        override = spec.backend if spec.backend != "auto" else None
+        if self._router is not None:
+            target: Optional[str] = self._router.decide(
+                ndim=resolved.ndim, rel_tol=spec.rel_tol, override=override,
+                context="batch",  # jobs execute through the rotation
+            ).backend
+        else:
+            # On a pinned service an explicit "auto" defers to the pin —
+            # the service is the routing decision.
+            target = override
+        if target is None:
+            return shard.backend, self.chunk_budget
+        backend = shard.extras.get(target)
+        if backend is None:
+            if target == shard.backend.name:
+                backend = shard.backend  # routed to the default: reuse
+            else:
+                backend = new_backend(target)
+            shard.extras[target] = backend
+        budget = PaganiConfig.resolve_chunk_budget(
+            backend, self._chunk_budget_override
+        )
+        return backend, budget
+
     def _admit(self, shard: _Shard) -> None:
         """Fill the shard's free rotation slots (cache/coalesce first)."""
         while len(shard.members) < self.max_concurrent:
@@ -450,20 +598,26 @@ class IntegrationService:
             spec = handle.spec
             try:
                 resolved = spec.resolve()
+                run_backend, chunk_budget = self._job_backend(
+                    shard, spec, resolved
+                )
             except Exception as exc:
                 self._finish(handle, JobStatus.FAILED, exception=exc)
                 continue
 
             fingerprint = None
             if self.cache is not None and resolved.cache_id is not None:
+                # The *resolved* backend (and its grain) is hashed, never
+                # the "auto" policy: cache identity must describe the
+                # bits, and two routers may decide differently.
                 fingerprint = job_fingerprint(
                     integrand_id=resolved.cache_id,
                     ndim=resolved.ndim,
                     bounds=resolved.bounds,
                     rel_tol=spec.rel_tol,
                     abs_tol=spec.abs_tol,
-                    backend=self.backend.name,
-                    chunk_budget=self.chunk_budget,
+                    backend=run_backend.name,
+                    chunk_budget=chunk_budget,
                     max_iterations=spec.max_iterations,
                     relerr_filtering=resolved.relerr_filtering,
                     collect_traces=self.collect_traces,
@@ -500,8 +654,8 @@ class IntegrationService:
                 rel_tol=spec.rel_tol,
                 abs_tol=spec.abs_tol,
                 relerr_filtering=resolved.relerr_filtering,
-                backend=shard.backend,
-                chunk_budget=self.chunk_budget,
+                backend=run_backend,
+                chunk_budget=chunk_budget,
             )
             if spec.max_iterations is not None:
                 cfg.max_iterations = spec.max_iterations
@@ -514,6 +668,10 @@ class IntegrationService:
                 self._finish(handle, JobStatus.FAILED, exception=exc)
                 continue
             index = shard.scheduler.add(run)
+            if self._router is not None:
+                import time as _time
+
+                shard.routed[index] = (run_backend.name, _time.monotonic())
             # Member/follower tables are read by stats() and sibling
             # shards; every structural mutation happens under the lock.
             with self._cond:
@@ -546,11 +704,7 @@ class IntegrationService:
                 shard.credits[i] -= w_max
                 serve.append(i)
 
-        failures: Dict[int, BaseException] = {}
-        try:
-            shard.scheduler.run_round(only=serve)
-        except BatchMemberError as exc:
-            failures = exc.failures
+        failures = shard.scheduler.run_round(only=serve)
         with self._cond:
             self._rounds += 1
         for i in serve:
@@ -605,6 +759,7 @@ class IntegrationService:
                 self._inflight.pop(fingerprint)
         shard.resolved.pop(index)
         shard.credits.pop(index)
+        shard.routed.pop(index, None)
 
         if cancelled:
             handle._complete(JobStatus.CANCELLED, exception=CancelledError())
@@ -647,6 +802,14 @@ class IntegrationService:
         shard.scheduler.retire_member(index)
         resolved = shard.resolved.pop(index)
         shard.credits.pop(index)
+        routed = shard.routed.pop(index, None)
+        if routed is not None and self._router is not None:
+            import time as _time
+
+            name, admitted_at = routed
+            self._router.observe(
+                name, result.neval, _time.monotonic() - admitted_at
+            )
         if resolved.reference is not None:
             result.true_value = resolved.reference
         with self._cond:

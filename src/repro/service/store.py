@@ -338,7 +338,10 @@ class TieredResultCache(ResultCache):
             if entry is not None:
                 self._entries.move_to_end(fingerprint)
                 self.hits += 1
-                return copy.deepcopy(entry)
+        if entry is not None:
+            # Deep copy outside the lock (see ResultCache.get): the
+            # stored entry is a private copy nobody mutates.
+            return copy.deepcopy(entry)
         # Durable tier outside the LRU lock: SQLite serialises itself,
         # and a concurrent put of the same fingerprint is idempotent.
         result = self.store.get(fingerprint)
@@ -354,8 +357,9 @@ class TieredResultCache(ResultCache):
 
     def _promote(self, fingerprint: str, result: IntegrationResult) -> None:
         """Install a durable hit into the LRU (memory copy only)."""
+        snapshot = copy.deepcopy(result)  # outside the lock, see get()
         with self._lock:
-            self._entries[fingerprint] = copy.deepcopy(result)
+            self._entries[fingerprint] = snapshot
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)

@@ -127,3 +127,86 @@ def test_clear():
 def test_rejects_silly_capacity():
     with pytest.raises(ValueError):
         ResultCache(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot copies happen OUTSIDE the cache lock (contention bugfix)
+# ---------------------------------------------------------------------------
+def _assert_copies_unlocked(cache, monkeypatch):
+    """Wrap ``copy.deepcopy`` so every IntegrationResult copy proves the
+    cache lock is free while it runs — a reader stalled inside deepcopy
+    must not serialise every other cache access behind it."""
+    import copy as copy_mod
+
+    observed = []
+    real = copy_mod.deepcopy
+
+    def spying(obj, *a, **kw):
+        if isinstance(obj, IntegrationResult):
+            free = cache._lock.acquire(blocking=False)
+            if free:
+                cache._lock.release()
+            observed.append(free)
+        return real(obj, *a, **kw)
+
+    monkeypatch.setattr(copy_mod, "deepcopy", spying)
+    return observed
+
+
+def test_resultcache_copies_outside_lock(monkeypatch):
+    cache = ResultCache()
+    observed = _assert_copies_unlocked(cache, monkeypatch)
+    cache.put(fp(), result())
+    got = cache.get(fp())
+    assert got is not None
+    assert len(observed) >= 2  # put snapshot + get snapshot
+    assert all(observed), "deepcopy ran while holding the cache lock"
+
+
+def test_tiered_cache_copies_outside_lock(tmp_path, monkeypatch):
+    from repro.service import TieredResultCache
+
+    cache = TieredResultCache(tmp_path, max_entries=1)
+    observed = _assert_copies_unlocked(cache, monkeypatch)
+    cache.put(fp(), result())
+    assert cache.get(fp()) is not None
+    # Evict the entry from the memory tier, then re-read: the durable
+    # promotion path must also copy outside the lock.
+    cache.put(fp(rel_tol=1e-5), result())
+    assert cache.get(fp()) is not None
+    assert len(observed) >= 3
+    assert all(observed), "deepcopy ran while holding the cache lock"
+    cache.close()
+
+
+def test_concurrent_readers_not_serialised_by_slow_copy(monkeypatch):
+    """A slow deepcopy in one reader must not block another reader's
+    get(): with the copy outside the lock both finish concurrently."""
+    import copy as copy_mod
+    import threading
+    import time
+
+    cache = ResultCache()
+    cache.put(fp(), result())
+    real = copy_mod.deepcopy
+    release = threading.Event()
+    stalled = threading.Event()
+
+    def slow(obj, *a, **kw):
+        if isinstance(obj, IntegrationResult) and not stalled.is_set():
+            stalled.set()
+            assert release.wait(5)
+        return real(obj, *a, **kw)
+
+    monkeypatch.setattr(copy_mod, "deepcopy", slow)
+    t = threading.Thread(target=cache.get, args=(fp(),))
+    t.start()
+    assert stalled.wait(5)
+    # First reader is parked inside deepcopy; the lock must be free.
+    t0 = time.perf_counter()
+    assert cache._lock.acquire(timeout=1)
+    cache._lock.release()
+    assert time.perf_counter() - t0 < 0.5
+    release.set()
+    t.join(timeout=5)
+    assert not t.is_alive()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 
 from repro.service import JobQueue, JobSpec, JobStatus
+from repro.service.queue import COMPACT_DEAD_THRESHOLD
 from repro.service.jobs import JobHandle
 
 
@@ -107,3 +108,54 @@ def test_concurrent_push_pop():
     done.set()
     consumer.join(timeout=10)
     assert sorted(popped) == list(range(n_producers * per_producer))
+
+
+# ---------------------------------------------------------------------------
+# Mass cancellation: O(1) depth + bounded heap (lazy compaction)
+# ---------------------------------------------------------------------------
+def test_mass_cancel_keeps_depth_o1_and_heap_bounded():
+    """Cancelling 10k queued jobs must not leave 10k dead heap entries
+    behind (the pre-fix behaviour: ``len`` rescanned the heap and dead
+    entries lingered until popped)."""
+    q = JobQueue()
+    handles = [handle(i) for i in range(10_000)]
+    for h in handles:
+        q.push(h)
+    assert len(q) == 10_000
+    assert q.heap_size() == 10_000
+
+    for h in handles:
+        assert h.cancel()
+
+    # Live count is a maintained counter, not a scan: exactly zero.
+    assert len(q) == 0
+    # Lazy compaction keeps the heap bounded by the dead-entry
+    # threshold, not the number of cancellations.
+    assert q.heap_size() <= 2 * COMPACT_DEAD_THRESHOLD
+    assert q.pop() is None
+
+
+def test_len_is_counter_not_scan():
+    """``len(q)`` reads a maintained counter (O(1)); interleaved
+    cancels keep it exact without touching the heap."""
+    q = JobQueue()
+    handles = [handle(i) for i in range(100)]
+    for h in handles:
+        q.push(h)
+    for h in handles[::2]:
+        h.cancel()
+    assert len(q) == 50
+    live = [q.pop() for _ in range(50)]
+    assert all(h is not None for h in live)
+    assert len(q) == 0
+
+
+def test_pop_skips_cancelled_entries():
+    q = JobQueue()
+    a, b, c = handle(0, priority=3), handle(1, priority=2), handle(2, priority=1)
+    for h in (a, b, c):
+        q.push(h)
+    b.cancel()
+    assert q.pop() is a
+    assert q.pop() is c
+    assert q.pop() is None

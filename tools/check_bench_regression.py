@@ -28,6 +28,13 @@ bit-identical to cold ``integrate()`` (replay-mismatch fatal), and the
 warm / restart-warm cache-hit-rate floors hold.  No baseline or rate
 comparison applies — loopback wall clock is noise.
 
+When ``--current`` holds a ``pagani-routing-bench`` payload (the
+adaptive-routing benchmark), the hard checks are: every scenario run
+converged, routed results agree with numpy, the ``auto`` policy stayed
+within the payload's own ratio bound of the best fixed backend, and —
+on hosts where the payload says the expectation is enforced — the shm
+transport is at least as fast as per-chunk pickling.
+
 Exit codes: 0 OK, 1 regression/mismatch, 2 structural problem (missing
 file, malformed payload).
 
@@ -69,6 +76,10 @@ def load(path: Path) -> dict:
         # HTTP traffic-trace payload: waves instead of backend rows.
         if "waves" not in data or not isinstance(data["waves"], dict):
             raise structural(f"error: {path} has no 'waves' section")
+        return data
+    if data.get("suite") == "pagani-routing-bench":
+        if "scenarios" not in data or not isinstance(data["scenarios"], dict):
+            raise structural(f"error: {path} has no 'scenarios' section")
         return data
     if "backends" not in data or not isinstance(data["backends"], dict):
         raise structural(f"error: {path} has no 'backends' section")
@@ -114,6 +125,38 @@ def check_http_bench(current: dict) -> list:
     return failures
 
 
+def check_routing_bench(current: dict) -> list:
+    """Hard checks for a ``pagani-routing-bench`` payload.
+
+    The payload carries its own expectation block (the smoke workload
+    relaxes the auto ratio for runner timing noise), so the gate
+    re-derives the failure list with the harness's own rules — one
+    source of truth for what "routing regressed" means."""
+    for extra in (REPO_ROOT / "benchmarks", REPO_ROOT / "src"):
+        if str(extra) not in sys.path:
+            sys.path.insert(0, str(extra))
+    from harness import routing_bench_problems
+    failures = list(routing_bench_problems(current))
+    print(f"{'scenario':<13} {'auto':>9} {'best fixed':>18} {'ratio':>7}")
+    for name, sc in current["scenarios"].items():
+        best = sc["best_fixed"]
+        print(
+            f"{name:<13} {sc['auto']['wall_seconds']:>8.3f}s "
+            f"{best:>10} {sc['fixed'][best]['wall_seconds']:>6.3f}s "
+            f"{sc['auto_vs_best_ratio']:>6.2f}x"
+        )
+    ipc = current.get("ipc", {})
+    if ipc.get("available"):
+        enforced = current["expectation"]["ipc_enforced_on_this_host"]
+        print(
+            f"ipc shm {ipc['shm']['s_per_meval']:.4f} s/Meval vs pickle "
+            f"{ipc['pickle']['s_per_meval']:.4f} s/Meval "
+            f"({ipc['shm_speedup_vs_pickle']:.2f}x, "
+            f"{'enforced' if enforced else 'not enforced on this host'})"
+        )
+    return failures
+
+
 def rate_per_meval(row: dict) -> float:
     """Wall seconds per million evaluations for one benchmark row."""
     neval = max(1, int(row.get("neval", 0)))
@@ -149,6 +192,15 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
 
     current = load(args.current)
+    if current.get("suite") == "pagani-routing-bench":
+        failures = check_routing_bench(current)
+        if failures:
+            print("\nFAIL:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nbenchmark gate OK")
+        return 0
     if current.get("suite") == "pagani-http-bench":
         failures = check_http_bench(current)
         if failures:
