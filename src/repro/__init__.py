@@ -28,7 +28,14 @@ Package map
 ``repro.diagnostics`` traces, tree statistics, load-imbalance reports
 """
 
-from repro.api import integrate, integrate_many, serve_http, serve_jobs
+from repro.api import (
+    IntegrationRequest,
+    integrate,
+    integrate_many,
+    integrate_request,
+    serve_http,
+    serve_jobs,
+)
 from repro.backends import ArrayBackend, available_backends, get_backend
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.core.result import IntegrationResult, Status
@@ -43,6 +50,8 @@ __version__ = "1.0.0"
 __all__ = [
     "integrate",
     "integrate_many",
+    "integrate_request",
+    "IntegrationRequest",
     "serve_jobs",
     "serve_http",
     "IntegrationResult",

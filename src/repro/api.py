@@ -31,11 +31,12 @@ common knobs.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.backends import BackendSpec, get_backend
+from repro.backends import BackendLike, get_backend
 from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
 from repro.baselines.qmc import QmcConfig, QmcIntegrator
 from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
@@ -45,6 +46,203 @@ from repro.errors import ConfigurationError
 from repro.gpu.device import DeviceSpec, VirtualDevice
 
 _METHODS = ("pagani", "cuhre", "two_phase", "qmc")
+
+
+@dataclass(frozen=True)
+class IntegrationRequest:
+    """The canonical options of one integration request.
+
+    Every request surface reduces to (or is built from) this one frozen
+    value: :func:`integrate` keyword arguments construct one internally,
+    :func:`integrate_many` builds each member's configuration from one,
+    and :class:`repro.service.JobSpec` converts to/from one
+    (``JobSpec.from_request`` / ``JobSpec.to_request``) — so option
+    names, defaults and validation cannot drift between the three
+    surfaces, and a request that produced a given cache fingerprint via
+    one surface produces the same fingerprint via any other.
+
+    Fields
+    ------
+    bounds:
+        ``(ndim, 2)`` low/high pairs (``None`` = unit cube), canonicalised
+        to nested tuples so requests hash and compare as values.
+    rel_tol / abs_tol:
+        Termination tolerances (paper defaults: ``abs_tol = 1e-20`` so
+        the relative condition governs).
+    backend:
+        Execution backend spec (``None`` = reference NumPy, ``"auto"`` =
+        route per call); see :mod:`repro.backends`.
+    max_iterations:
+        Iteration cap for the breadth-first methods (``None`` keeps the
+        method default).
+    relerr_filtering:
+        §3.5.1 flag; ``None`` reads the integrand's ``sign_definite``
+        attribute at run time.
+    method:
+        ``"pagani"`` (default) or a baseline.
+
+    Examples
+    --------
+    >>> from repro.api import IntegrationRequest
+    >>> req = IntegrationRequest(rel_tol=1e-4, backend="threaded")
+    >>> req == IntegrationRequest(rel_tol=1e-4, backend="threaded")
+    True
+    >>> IntegrationRequest(bounds=[(0, 2), (0, 1)]).bounds
+    ((0.0, 2.0), (0.0, 1.0))
+    """
+
+    bounds: Optional[Sequence[Sequence[float]]] = None
+    rel_tol: float = 1e-3
+    abs_tol: float = 1e-20
+    backend: BackendLike = None
+    max_iterations: Optional[int] = None
+    relerr_filtering: Optional[bool] = None
+    method: str = "pagani"
+
+    def __post_init__(self) -> None:
+        # Canonicalise well-formed bounds to nested float tuples (value
+        # semantics for a frozen dataclass); malformed bounds are left
+        # untouched so the integrator's shape check raises its usual
+        # ConfigurationError with the ndim in hand.
+        if self.bounds is not None:
+            try:
+                arr = np.asarray(self.bounds, dtype=np.float64)
+            except (TypeError, ValueError):
+                arr = None
+            if arr is not None and arr.ndim == 2 and arr.shape[1] == 2:
+                object.__setattr__(
+                    self,
+                    "bounds",
+                    tuple((float(lo), float(hi)) for lo, hi in arr),
+                )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on bad options."""
+        if self.method not in _METHODS:
+            raise ConfigurationError(
+                f"unknown method {self.method!r}; pick one of {_METHODS}"
+            )
+        if not (0.0 < self.rel_tol < 1.0):
+            raise ConfigurationError(
+                f"rel_tol must be in (0, 1), got {self.rel_tol}"
+            )
+        if self.abs_tol < 0.0:
+            raise ConfigurationError("abs_tol must be non-negative")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+
+    # ------------------------------------------------------------------
+    def resolve_filtering(self, integrand: Optional[Callable] = None) -> bool:
+        """The effective §3.5.1 flag for ``integrand`` (see field doc)."""
+        if self.relerr_filtering is None:
+            return bool(getattr(integrand, "sign_definite", True))
+        return bool(self.relerr_filtering)
+
+    def to_pagani_config(
+        self,
+        integrand: Optional[Callable] = None,
+        *,
+        backend: BackendLike = None,
+        chunk_budget: Optional[int] = None,
+    ) -> PaganiConfig:
+        """Materialise a :class:`~repro.core.PaganiConfig` for this request.
+
+        ``backend`` overrides the request's backend (the routed/shared
+        instance callers already resolved); ``chunk_budget`` overrides
+        the reference evaluate grain (the batch/service layers pass the
+        backend's preferred fused grain).
+        """
+        if backend is None:
+            backend = self.backend if self.backend is not None else "numpy"
+        cfg = PaganiConfig(
+            rel_tol=self.rel_tol,
+            abs_tol=self.abs_tol,
+            relerr_filtering=self.resolve_filtering(integrand),
+            backend=backend,
+        )
+        if chunk_budget is not None:
+            cfg.chunk_budget = chunk_budget
+        if self.max_iterations is not None:
+            cfg.max_iterations = self.max_iterations
+        return cfg
+
+
+def integrate_request(
+    integrand: Callable[[np.ndarray], np.ndarray],
+    ndim: int,
+    request: IntegrationRequest,
+    *,
+    device: Optional[VirtualDevice] = None,
+    max_eval: Optional[int] = None,
+) -> IntegrationResult:
+    """Integrate under the canonical :class:`IntegrationRequest` options.
+
+    The unified core that :func:`integrate`'s keyword shim delegates to;
+    ``device`` and ``max_eval`` stay out of the request because they are
+    execution environment / baseline-budget concerns, not part of the
+    cacheable request identity.
+    """
+    request.validate()
+    method = request.method
+    if (
+        request.backend is not None
+        and request.backend != "numpy"
+        and method != "pagani"
+    ):
+        raise ConfigurationError(
+            f"backend selection applies to method='pagani' only (got "
+            f"method={method!r}, backend={request.backend!r})"
+        )
+
+    if method == "pagani":
+        router = None
+        backend = request.backend
+        if isinstance(backend, str) and backend == "auto":
+            from repro.backends.routing import shared_router
+
+            router = shared_router()
+            backend = router.decide(
+                ndim=ndim, rel_tol=request.rel_tol
+            ).backend
+        cfg = request.to_pagani_config(integrand, backend=backend)
+        result = PaganiIntegrator(cfg, device=device).integrate(
+            integrand, ndim, bounds=request.bounds
+        )
+        if router is not None:
+            router.observe(
+                backend, result.neval, getattr(result, "wall_seconds", 0.0) or 0.0
+            )
+    elif method == "cuhre":
+        cfg = CuhreConfig(rel_tol=request.rel_tol, abs_tol=request.abs_tol)
+        if max_eval is not None:
+            cfg.max_eval = max_eval
+        result = CuhreIntegrator(cfg).integrate(
+            integrand, ndim, bounds=request.bounds
+        )
+    elif method == "two_phase":
+        cfg = TwoPhaseConfig(
+            rel_tol=request.rel_tol,
+            abs_tol=request.abs_tol,
+            relerr_filtering=request.resolve_filtering(integrand),
+        )
+        if request.max_iterations is not None:
+            cfg.max_phase1_iterations = request.max_iterations
+        result = TwoPhaseIntegrator(cfg, device=device).integrate(
+            integrand, ndim, bounds=request.bounds
+        )
+    else:  # qmc
+        cfg = QmcConfig(rel_tol=request.rel_tol, abs_tol=request.abs_tol)
+        if max_eval is not None:
+            cfg.max_eval = max_eval
+        result = QmcIntegrator(cfg, device=device).integrate(
+            integrand, ndim, bounds=request.bounds
+        )
+
+    ref = getattr(integrand, "reference", None)
+    if ref is not None:
+        result.true_value = float(ref)
+    return result
 
 
 def integrate(
@@ -58,9 +256,15 @@ def integrate(
     relerr_filtering: Optional[bool] = None,
     max_eval: Optional[int] = None,
     max_iterations: Optional[int] = None,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
+    request: Optional[IntegrationRequest] = None,
 ) -> IntegrationResult:
     """Integrate a batch callable over an axis-aligned box.
+
+    A thin shim over :func:`integrate_request`: the keyword arguments
+    below construct an :class:`IntegrationRequest` (pass ``request=`` to
+    supply one directly, in which case it wins wholesale over the
+    per-option keywords).
 
     Parameters
     ----------
@@ -136,62 +340,15 @@ def integrate(
     >>> routed.estimate == res.estimate
     True
     """
-    if method not in _METHODS:
-        raise ConfigurationError(f"unknown method {method!r}; pick one of {_METHODS}")
-    if relerr_filtering is None:
-        relerr_filtering = bool(getattr(integrand, "sign_definite", True))
-    if backend is not None and backend != "numpy" and method != "pagani":
-        raise ConfigurationError(
-            f"backend selection applies to method='pagani' only (got "
-            f"method={method!r}, backend={backend!r})"
+    if request is None:
+        request = IntegrationRequest(
+            bounds=bounds, rel_tol=rel_tol, abs_tol=abs_tol, backend=backend,
+            max_iterations=max_iterations, relerr_filtering=relerr_filtering,
+            method=method,
         )
-
-    if method == "pagani":
-        router = None
-        if isinstance(backend, str) and backend == "auto":
-            from repro.backends.routing import shared_router
-
-            router = shared_router()
-            backend = router.decide(ndim=ndim, rel_tol=rel_tol).backend
-        cfg = PaganiConfig(
-            rel_tol=rel_tol, abs_tol=abs_tol, relerr_filtering=relerr_filtering,
-            backend=backend if backend is not None else "numpy",
-        )
-        if max_iterations is not None:
-            cfg.max_iterations = max_iterations
-        result = PaganiIntegrator(cfg, device=device).integrate(
-            integrand, ndim, bounds=bounds
-        )
-        if router is not None:
-            router.observe(
-                backend, result.neval, getattr(result, "wall_seconds", 0.0) or 0.0
-            )
-    elif method == "cuhre":
-        cfg = CuhreConfig(rel_tol=rel_tol, abs_tol=abs_tol)
-        if max_eval is not None:
-            cfg.max_eval = max_eval
-        result = CuhreIntegrator(cfg).integrate(integrand, ndim, bounds=bounds)
-    elif method == "two_phase":
-        cfg = TwoPhaseConfig(
-            rel_tol=rel_tol, abs_tol=abs_tol, relerr_filtering=relerr_filtering
-        )
-        if max_iterations is not None:
-            cfg.max_phase1_iterations = max_iterations
-        result = TwoPhaseIntegrator(cfg, device=device).integrate(
-            integrand, ndim, bounds=bounds
-        )
-    else:  # qmc
-        cfg = QmcConfig(rel_tol=rel_tol, abs_tol=abs_tol)
-        if max_eval is not None:
-            cfg.max_eval = max_eval
-        result = QmcIntegrator(cfg, device=device).integrate(
-            integrand, ndim, bounds=bounds
-        )
-
-    ref = getattr(integrand, "reference", None)
-    if ref is not None:
-        result.true_value = float(ref)
-    return result
+    return integrate_request(
+        integrand, ndim, request, device=device, max_eval=max_eval
+    )
 
 
 def _resolve_member_bounds(
@@ -242,7 +399,7 @@ def integrate_many(
     bounds=None,
     rel_tol: float = 1e-3,
     abs_tol: float = 1e-20,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
     relerr_filtering: Optional[bool] = None,
     max_iterations: Optional[int] = None,
     chunk_budget: Optional[int] = None,
@@ -250,8 +407,15 @@ def integrate_many(
     collect_trace: bool = True,
     return_stats: bool = False,
     on_member_error: str = "raise",
+    request: Optional[IntegrationRequest] = None,
 ):
     """Integrate many independent integrands as one batched workload.
+
+    Like :func:`integrate`, the per-option keywords are a thin shim over
+    :class:`IntegrationRequest`: each member's
+    :class:`~repro.core.PaganiConfig` is constructed from one canonical
+    request (pass ``request=`` to supply the shared options directly; it
+    wins wholesale over the per-option keywords it covers).
 
     All members run the PAGANI breadth-first loop concurrently on one
     shared execution backend: each scheduling round gives every live
@@ -345,6 +509,17 @@ def integrate_many(
             f"on_member_error must be 'raise' or 'skip', got "
             f"{on_member_error!r}"
         )
+    if request is None:
+        request = IntegrationRequest(
+            rel_tol=rel_tol, abs_tol=abs_tol, backend=backend,
+            max_iterations=max_iterations, relerr_filtering=relerr_filtering,
+        )
+    elif request.method != "pagani":
+        raise ConfigurationError(
+            "integrate_many runs the PAGANI loop; got "
+            f"method={request.method!r}"
+        )
+    request.validate()
 
     integrands = list(integrands)
     n = len(integrands)
@@ -366,14 +541,17 @@ def integrate_many(
             raise ConfigurationError(
                 f"got {len(ndims)} ndim values for {n} integrands"
             )
-    member_bounds = _resolve_member_bounds(bounds, ndims)
+    member_bounds = _resolve_member_bounds(
+        bounds if bounds is not None else request.bounds, ndims
+    )
 
     router = None
+    backend = request.backend
     if isinstance(backend, str) and backend == "auto":
         from repro.backends.routing import shared_router
 
         router = shared_router()
-        backend = router.decide_batch(ndims, rel_tol=rel_tol).backend
+        backend = router.decide_batch(ndims, rel_tol=request.rel_tol).backend
 
     bk = get_backend(backend)
     budget = PaganiConfig.resolve_chunk_budget(bk, chunk_budget)
@@ -382,20 +560,7 @@ def integrate_many(
     if n == 0:
         return ([], scheduler.stats) if return_stats else []
     for f, d, b in zip(integrands, ndims, member_bounds):
-        filtering = (
-            bool(getattr(f, "sign_definite", True))
-            if relerr_filtering is None
-            else relerr_filtering
-        )
-        cfg = PaganiConfig(
-            rel_tol=rel_tol,
-            abs_tol=abs_tol,
-            relerr_filtering=filtering,
-            backend=bk,
-            chunk_budget=budget,
-        )
-        if max_iterations is not None:
-            cfg.max_iterations = max_iterations
+        cfg = request.to_pagani_config(f, backend=bk, chunk_budget=budget)
         device = VirtualDevice(device_spec) if device_spec else None
         integrator = PaganiIntegrator(cfg, device=device)
         scheduler.add(
@@ -429,7 +594,7 @@ def integrate_many(
 def serve_jobs(
     specs: Sequence,
     max_concurrent: int = 4,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
     cache: bool = True,
     cache_entries: int = 256,
     chunk_budget: Optional[int] = None,
@@ -506,7 +671,7 @@ def serve_http(
     port: int = 8053,
     *,
     max_concurrent: int = 4,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
     shards: int = 1,
     cache_entries: int = 256,
     cache_dir=None,

@@ -27,6 +27,16 @@ Built-in backends
     same chunk decomposition results are bit-identical to ``"numpy"``.
     Unshippable integrands (closures) degrade to in-process serial
     execution with unchanged numerics.  See :mod:`repro.backends.process`.
+``"numba"`` / ``"numba:<N>"``
+    The compiled kernel lane: the per-chunk sweep arithmetic (point
+    evaluation, the five weighted contractions, error combination,
+    fourth-difference axis scan) runs as one fused, parallel,
+    nogil-jitted Numba kernel on an ``N``-wide thread team.  Agrees with
+    the reference to machine precision (ULP contract — per-region
+    sequential sums vs. BLAS blocked sums), not bit-identically.
+    Import-guarded like ``"cupy"``: the one-time probe compiles a trivial
+    jitted function and caches the verdict.  See
+    :mod:`repro.backends.compiled`.
 ``"cupy"``
     Real-GPU execution through CuPy.  Import-guarded: selecting it on a
     host without CuPy/CUDA raises
@@ -45,6 +55,11 @@ Every user surface takes a backend spec — a name string or an
     cfg = PaganiConfig(backend="threaded:8")              # config field
 
     pagani-repro run --integrand 8D-f7 --backend threaded # CLI flag
+
+Spec strings are parsed in exactly one place: :func:`resolve_backend`
+turns ``"family[:width]"`` into a typed :class:`BackendSpec` (the API,
+CLI, router and registry all consume it), so width-suffix syntax and its
+error messages cannot drift between surfaces.
 
 Writing a new backend
 ---------------------
@@ -80,9 +95,11 @@ Contract highlights for implementers:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.backends.base import ArrayBackend, BackendUnavailableError
+from repro.backends.compiled import NumbaBackend, numba_available
 from repro.backends.cupy_backend import CupyBackend, cupy_available
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.process import (
@@ -100,19 +117,83 @@ __all__ = [
     "ProcessNumpyBackend",
     "WorkerCrashError",
     "CupyBackend",
+    "NumbaBackend",
+    "numba_available",
+    "BackendLike",
     "BackendSpec",
+    "resolve_backend",
+    "backend_spec_help",
     "register_backend",
     "get_backend",
     "new_backend",
     "available_backends",
 ]
 
-#: anything accepted where a backend is expected
-BackendSpec = Union[str, ArrayBackend, None]
+#: anything accepted where a backend is expected (name string, instance,
+#: or ``None`` for the reference backend)
+BackendLike = Union[str, ArrayBackend, None]
 
 _FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
 _AVAILABILITY: Dict[str, Callable[[], bool]] = {}
 _INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """The typed form of a backend spec string ``"family[:width]"``.
+
+    ``family`` is the registry name (``"numpy"``, ``"process"``, …, or
+    ``"auto"`` for the router); ``width`` is the optional worker-count
+    suffix.  Produced by :func:`resolve_backend` — the single parser every
+    surface (API, CLI, router, registry) goes through.
+    """
+
+    family: str
+    width: Optional[int] = None
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string this parses back from."""
+        return (
+            self.family if self.width is None
+            else f"{self.family}:{self.width}"
+        )
+
+
+def resolve_backend(spec: BackendLike) -> BackendSpec:
+    """Parse a backend spec into its typed :class:`BackendSpec` form.
+
+    The one authoritative spec parser: accepts a ``"family[:width]"``
+    string (including ``"auto"``), an :class:`ArrayBackend` instance
+    (family = the instance's registry name), an already-parsed
+    :class:`BackendSpec` (returned unchanged) or ``None`` (the reference
+    backend).  Raises :class:`~repro.errors.ConfigurationError` for a
+    malformed width suffix or a non-spec object.  Family names are *not*
+    checked against the registry here — :func:`get_backend` owns the
+    unknown-name error so probing specs stays cheap.
+    """
+    from repro.errors import ConfigurationError
+
+    if spec is None:
+        return BackendSpec("numpy")
+    if isinstance(spec, BackendSpec):
+        return spec
+    if isinstance(spec, ArrayBackend):
+        return BackendSpec(spec.name)
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"backend must be a name or ArrayBackend instance, got {spec!r}"
+        )
+    name, sep, arg = spec.partition(":")
+    if not sep:
+        return BackendSpec(name)
+    try:
+        width = int(arg)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad worker count in backend spec {spec!r}"
+        ) from None
+    return BackendSpec(name, width)
 
 
 def register_backend(
@@ -137,39 +218,47 @@ def register_backend(
 _WIDTH_FACTORIES: Dict[str, Callable[[int], ArrayBackend]] = {
     "threaded": lambda width: ThreadedNumpyBackend(num_threads=width),
     "process": lambda width: ProcessNumpyBackend(num_workers=width),
+    "numba": lambda width: NumbaBackend(num_threads=width),
 }
+
+
+def backend_spec_help() -> str:
+    """Human-readable spec syntax for CLI ``--backend`` help text.
+
+    Generated from the registry so the help can never drift from what
+    :func:`get_backend` accepts: width-suffix backends render as
+    ``name[:N]``.
+    """
+    return ", ".join(
+        f"{name}[:N]" if name in _WIDTH_FACTORIES else name
+        for name in sorted(_FACTORIES)
+    )
 
 
 def _build_backend(spec: str) -> ArrayBackend:
     """Construct a *fresh* backend instance from a name spec."""
     from repro.errors import ConfigurationError
 
-    name, _, arg = spec.partition(":")
-    if name in _WIDTH_FACTORIES and arg:
-        try:
-            width = int(arg)
-        except ValueError:
-            raise ConfigurationError(
-                f"bad worker count in backend spec {spec!r}"
-            ) from None
-        return _WIDTH_FACTORIES[name](width)
-    if name not in _FACTORIES or arg:
+    parsed = resolve_backend(spec)
+    if parsed.family in _WIDTH_FACTORIES and parsed.width is not None:
+        return _WIDTH_FACTORIES[parsed.family](parsed.width)
+    if parsed.family not in _FACTORIES or parsed.width is not None:
         raise ConfigurationError(
             f"unknown backend {spec!r}; known backends: {sorted(_FACTORIES)}"
         )
-    return _FACTORIES[name]()
+    return _FACTORIES[parsed.family]()
 
 
-def get_backend(spec: BackendSpec = None) -> ArrayBackend:
+def get_backend(spec: BackendLike = None) -> ArrayBackend:
     """Resolve a backend spec to a (shared) backend instance.
 
     ``None`` and ``"numpy"`` return the reference backend;
-    ``"threaded:<N>"`` / ``"process:<N>"`` build an ``N``-wide pool
-    (cached per width so repeated resolutions share one executor);
-    instances pass through untouched.  Unknown names raise
+    ``"threaded:<N>"`` / ``"process:<N>"`` / ``"numba:<N>"`` build an
+    ``N``-wide pool (cached per width so repeated resolutions share one
+    executor); instances pass through untouched.  Unknown names raise
     :class:`~repro.errors.ConfigurationError`; known-but-unusable
-    backends (e.g. ``"cupy"`` without CUDA) raise
-    :class:`BackendUnavailableError`.
+    backends (e.g. ``"cupy"`` without CUDA, ``"numba"`` without Numba)
+    raise :class:`BackendUnavailableError`.
     """
     from repro.errors import ConfigurationError
 
@@ -186,7 +275,7 @@ def get_backend(spec: BackendSpec = None) -> ArrayBackend:
     return _INSTANCES[spec]
 
 
-def new_backend(spec: BackendSpec = None) -> ArrayBackend:
+def new_backend(spec: BackendLike = None) -> ArrayBackend:
     """Build a **fresh, unshared** backend instance from a spec.
 
     :func:`get_backend` shares one instance per spec string so casual
@@ -217,3 +306,4 @@ register_backend("numpy", NumpyBackend)
 register_backend("threaded", ThreadedNumpyBackend)
 register_backend("process", ProcessNumpyBackend, available=process_pool_available)
 register_backend("cupy", CupyBackend, available=cupy_available)
+register_backend("numba", NumbaBackend, available=numba_available)

@@ -76,6 +76,13 @@ class ArrayBackend(abc.ABC):
     #: it False and pay nothing.
     wants_chunk_specs: bool = False
 
+    #: backends that may execute the chunk thunks *concurrently* set this
+    #: True; the evaluate sweep then skips the shared per-run scratch
+    #: buffers, which assume chunks run one at a time.  Serial backends
+    #: (the default ``run_chunks``) leave it False and get allocation-free
+    #: steady-state sweeps.
+    concurrent_chunks: bool = False
+
     # -- array namespace & movement ------------------------------------
     @property
     @abc.abstractmethod

@@ -1,0 +1,264 @@
+"""Compiled kernel lane: a Numba-jitted fused evaluate sweep.
+
+The reference evaluate sweep (:func:`repro.cubature.evaluation.compute_chunk`)
+is a chain of BLAS/ufunc passes: materialise the ``(mc, p, n)`` point
+tensor, apply the integrand, contract against the five embedded-rule weight
+vectors, and scan the fourth divided differences for the split axis.  Each
+pass streams the full chunk through memory.  This module collapses the
+per-region arithmetic into **one fused, parallel, nogil-jitted kernel**: a
+``numba.prange`` loop over regions in which each iteration computes that
+region's points, the w7/w5/w3a/w3b/w1 contractions, the error-model
+combination and the fourth-difference axis selection from registers, in a
+single pass over the region's ``p`` integrand values.
+
+The integrand itself stays a Python batch callable (the public integrand
+contract), so the lane evaluates it once per chunk between two jitted
+stages: a point-materialisation kernel and the fused contraction kernel.
+Everything else — volumes, companion estimates, cascade/two-rule/
+four-difference errors, axis scan — runs inside the compiled region loop.
+
+Contracts
+---------
+* Same ``(estimate, error, axis)`` chunk contract as ``compute_chunk``.
+* **Machine-precision (ULP) agreement** with the NumPy reference, not bit
+  identity: the fused kernel sums the weighted contractions sequentially
+  per region while BLAS uses blocked summation, so results can differ in
+  the last bits.  The lane therefore joins the conformance suite under the
+  same approximate contract the cupy backend uses.
+* Import-guarded: Numba is probed once (a trivial ``njit`` compile) and
+  the verdict cached, mirroring the process-pool and cupy probes.
+  Constructing the backend without Numba raises
+  :class:`~repro.backends.base.BackendUnavailableError`;
+  :func:`repro.backends.available_backends` omits it.
+
+Select with ``backend="numba"`` (thread count = host CPUs) or
+``"numba:<N>"`` for an explicit parallel width.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import BackendUnavailableError, resolve_workers
+from repro.backends.numpy_backend import NumpyBackend
+
+#: cached (ok, reason) verdict of the one-time numba probe
+_NUMBA_PROBE: Optional[Tuple[bool, Optional[str]]] = None
+
+#: compiled kernels, built once per process on first backend construction
+_KERNELS = None
+
+#: error-model codes shared between the dispatcher and the jitted kernel
+_MODEL_CODES = {"two_rule": 0, "four_difference": 1, "cascade": 2}
+
+
+def _probe_numba() -> Tuple[bool, Optional[str]]:
+    """One-time availability probe: import numba and compile a trivial
+    jitted function (an import alone can succeed on a broken install where
+    compilation fails).  The verdict is cached for the process lifetime,
+    like the process-pool and cupy probes."""
+    global _NUMBA_PROBE
+    if _NUMBA_PROBE is not None:
+        return _NUMBA_PROBE
+    try:
+        import numba
+
+        @numba.njit(cache=False)
+        def _touch(x):
+            return x + 1.0
+
+        if _touch(1.0) != 2.0:  # pragma: no cover - defensive
+            raise RuntimeError("trivial jit returned wrong value")
+        _NUMBA_PROBE = (True, None)
+    except Exception as exc:  # ImportError or a broken toolchain
+        _NUMBA_PROBE = (False, f"{type(exc).__name__}: {exc}")
+    return _NUMBA_PROBE
+
+
+def numba_available() -> bool:
+    """Whether the compiled lane can run on this host (cached probe)."""
+    return _probe_numba()[0]
+
+
+def _build_kernels():
+    """Compile the fused sweep kernels (once per process).
+
+    Two stages, both ``parallel=True, nogil=True``:
+
+    ``points_kernel``
+        Fills the preallocated ``(mc, p, n)`` point buffer with
+        ``c + ref * h`` — the Genz–Malik point evaluation.
+    ``fused_kernel``
+        One ``prange`` region loop doing volume, the five weighted
+        contractions, the error-model combination and the
+        fourth-difference axis scan in a single pass over the region's
+        integrand values.
+    """
+    global _KERNELS
+    if _KERNELS is not None:
+        return _KERNELS
+    import numba
+
+    @numba.njit(parallel=True, nogil=True, cache=False)
+    def points_kernel(c, h, ref, out):
+        mc, n = c.shape
+        p = ref.shape[0]
+        for r in numba.prange(mc):
+            for j in range(p):
+                for k in range(n):
+                    out[r, j, k] = c[r, k] + ref[j, k] * h[r, k]
+
+    @numba.njit(parallel=True, nogil=True, cache=False)
+    def fused_kernel(
+        vals, h, w7, w5, w3a, w3b, w1,
+        idx2p, idx2m, idx3p, idx3m,
+        ratio, crit, model,
+        out_est, out_err, out_axis,
+    ):
+        mc = vals.shape[0]
+        p = vals.shape[1]
+        n = h.shape[1]
+        for r in numba.prange(mc):
+            vol = 1.0
+            for k in range(n):
+                vol *= 2.0 * h[r, k]
+            s7 = 0.0
+            s5 = 0.0
+            s3a = 0.0
+            s3b = 0.0
+            s1 = 0.0
+            for j in range(p):
+                v = vals[r, j]
+                s7 += v * w7[j]
+                s5 += v * w5[j]
+                s3a += v * w3a[j]
+                s3b += v * w3b[j]
+                s1 += v * w1[j]
+            i7 = vol * s7
+            i5 = vol * s5
+            i3a = vol * s3a
+            i3b = vol * s3b
+            i1 = vol * s1
+            if model == 0:  # two_rule
+                err = abs(i7 - i5)
+            elif model == 1:  # four_difference
+                err = abs(i7 - i5)
+                if abs(i7 - i3a) > err:
+                    err = abs(i7 - i3a)
+                if abs(i7 - i3b) > err:
+                    err = abs(i7 - i3b)
+                if abs(i7 - i1) > err:
+                    err = abs(i7 - i1)
+            else:  # cascade
+                e1 = abs(i7 - i5)
+                e2 = abs(i5 - i3a)
+                e3 = abs(i3a - i1)
+                crude = max(e1, max(e2, e3))
+                if e2 > 0.0:
+                    r1 = e1 / e2
+                elif e1 > 0.0:
+                    r1 = np.inf
+                else:
+                    r1 = 0.0
+                if e3 > 0.0:
+                    r2 = e2 / e3
+                elif e2 > 0.0:
+                    r2 = np.inf
+                else:
+                    r2 = 0.0
+                err = e1 if max(r1, r2) < crit else crude
+            out_est[r] = i7
+            out_err[r] = err
+
+            f0 = vals[r, 0]
+            best = -1.0
+            axis = 0
+            for k in range(n):
+                d2 = vals[r, idx2p[k]] + vals[r, idx2m[k]] - 2.0 * f0
+                d3 = vals[r, idx3p[k]] + vals[r, idx3m[k]] - 2.0 * f0
+                fourth = abs(d2 - ratio * d3)
+                if fourth > best:
+                    best = fourth
+                    axis = k
+            out_axis[r] = axis
+
+    _KERNELS = (points_kernel, fused_kernel)
+    return _KERNELS
+
+
+class NumbaBackend(NumpyBackend):
+    """Compiled kernel lane: fused evaluate sweep on a Numba thread team.
+
+    Inherits every array primitive from the NumPy reference (the arrays
+    *are* NumPy arrays); only the per-chunk sweep arithmetic is replaced,
+    through the :meth:`fused_compute_chunk` hook that
+    :func:`repro.cubature.evaluation.evaluate_regions` dispatches to.
+    """
+
+    name = "numba"
+
+    def __init__(self, num_threads: Optional[int] = None):
+        ok, reason = _probe_numba()
+        if not ok:
+            raise BackendUnavailableError(
+                f"numba backend unavailable: {reason}; install the "
+                "'kernels' extra (pip install pagani-repro[kernels])"
+            )
+        self.num_threads = resolve_workers(num_threads)
+        self._points_kernel, self._fused_kernel = _build_kernels()
+        self._pts_buf: Optional[np.ndarray] = None
+
+    def _points_buffer(self, mc: int, p: int, n: int) -> np.ndarray:
+        """Per-backend reusable point buffer (chunks run serially)."""
+        need = (mc, p, n)
+        buf = self._pts_buf
+        if buf is None or buf.shape[0] < mc or buf.shape[1:] != (p, n):
+            buf = np.empty(need)
+            self._pts_buf = buf
+        return buf[:mc]
+
+    def fused_compute_chunk(
+        self, dr, integrand, c, h, error_model: str
+    ):
+        """Fused-lane replacement for ``compute_chunk``.
+
+        Same signature contract: ``(mc, n)`` center/halfwidth slices and
+        the backend-resident :class:`~repro.cubature.rules.DeviceRule`;
+        returns ``(estimate, error, axis)``.
+        """
+        import numba
+
+        mc, n = c.shape
+        p = dr.points.shape[0]
+        c = np.ascontiguousarray(c)
+        h = np.ascontiguousarray(h)
+        pts = self._points_buffer(mc, p, n)
+        out_est = np.empty(mc)
+        out_err = np.empty(mc)
+        out_axis = np.empty(mc, dtype=np.int64)
+
+        old_threads = numba.get_num_threads()
+        numba.set_num_threads(self.num_threads)
+        try:
+            self._points_kernel(c, h, dr.points, pts)
+            vals = self.map_integrand(integrand, pts.reshape(-1, n))
+            vals = np.ascontiguousarray(vals.reshape(mc, p))
+            from repro.cubature.evaluation import CASCADE_RATIO_CRITICAL
+            from repro.cubature.rules import FOURTH_DIFF_RATIO
+
+            self._fused_kernel(
+                vals, h,
+                dr.w7, dr.w5, dr.w3a, dr.w3b, dr.w1,
+                dr.idx2_plus, dr.idx2_minus, dr.idx3_plus, dr.idx3_minus,
+                FOURTH_DIFF_RATIO, CASCADE_RATIO_CRITICAL,
+                _MODEL_CODES[error_model],
+                out_est, out_err, out_axis,
+            )
+        finally:
+            numba.set_num_threads(old_threads)
+        return out_est, out_err, out_axis
+
+    def close(self) -> None:  # pragma: no cover - symmetry with pools
+        self._pts_buf = None

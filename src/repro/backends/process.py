@@ -351,6 +351,7 @@ class ProcessNumpyBackend(NumpyBackend):
 
     #: ask the evaluate sweep to attach picklable chunk specs
     wants_chunk_specs = True
+    concurrent_chunks = True
 
     def __init__(self, num_workers: Optional[int] = None, ipc: str = "shm"):
         available, reason = _probe_process_pool()

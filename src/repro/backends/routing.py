@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.backends.base import resolve_workers
+from repro.backends.compiled import numba_available
 from repro.backends.cupy_backend import cupy_available
 from repro.backends.process import process_pool_available
 
@@ -63,7 +64,14 @@ PRIORS_FILE = (
 
 #: measured medians from the committed BENCH_backends.json at the time
 #: this module was written — used when the file itself is unavailable
-FALLBACK_S_PER_MEVAL = {"numpy": 0.105, "threaded": 0.12, "process": 0.11}
+FALLBACK_S_PER_MEVAL = {
+    "numpy": 0.105,
+    "threaded": 0.12,
+    "process": 0.11,
+    # fused nogil kernel, no per-chunk Python dispatch: the compiled
+    # lane's steady-state rate once the JIT warm-up is paid
+    "numba": 0.03,
+}
 
 #: committed batch baseline: the fused-grain gains are seeded from here
 BATCH_PRIORS_FILE = PRIORS_FILE.with_name("BENCH_batch.json")
@@ -83,6 +91,9 @@ SWEEP_OVERHEAD_S = {
     "threaded": 2e-3,
     "process": 2e-2,
     "cupy": 5e-3,
+    # amortised share of the one-time JIT compile (cached after the
+    # first sweep) plus the per-sweep kernel launch bookkeeping
+    "numba": 1e-3,
 }
 
 #: fraction of ideal speedup a width-W pool retains (stitching and the
@@ -202,6 +213,7 @@ class BackendRouter:
         process: Optional[bool] = None,
         cupy: Optional[bool] = None,
         batch_gains: Optional[Dict[str, float]] = None,
+        numba: Optional[bool] = None,
     ):
         self.priors = load_priors() if priors is None else dict(priors)
         self.batch_gains = (
@@ -214,6 +226,7 @@ class BackendRouter:
             process_pool_available() if process is None else bool(process)
         )
         self._cupy = cupy_available() if cupy is None else bool(cupy)
+        self._numba = numba_available() if numba is None else bool(numba)
         self._lock = threading.Lock()
         self._observed: Dict[str, float] = {}
         self._observations = 0
@@ -240,6 +253,8 @@ class BackendRouter:
             # but its throughput-tuned fused chunk grain beats numpy's
             # reference decomposition on big sweeps.
             out.append(f"process:{self.process_width}")
+        if self._numba:
+            out.append("numba")
         if self._cupy:
             out.append("cupy")
         return out

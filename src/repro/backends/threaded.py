@@ -43,6 +43,7 @@ class ThreadedNumpyBackend(NumpyBackend):
     #: nothing to parallelise).  Trades bit-identity with the reference
     #: decomposition for throughput; see docs/batch.md.
     preferred_batch_chunk_budget = 131_072
+    concurrent_chunks = True
 
     def __init__(self, num_threads: Optional[int] = None):
         self.num_threads = resolve_workers(num_threads)

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.backends import BackendSpec, ThreadedNumpyBackend, get_backend
+from repro.backends import BackendLike, ThreadedNumpyBackend, get_backend
 from repro.core.pagani import PaganiRun
 from repro.core.result import IntegrationResult
 from repro.errors import ConfigurationError
@@ -167,7 +167,7 @@ class BatchScheduler:
         results = [r.result for r in runs]
     """
 
-    def __init__(self, backend: BackendSpec = None):
+    def __init__(self, backend: BackendLike = None):
         self.backend = get_backend(backend)
         self._runs: List[PaganiRun] = []
         self.stats = BatchStats()

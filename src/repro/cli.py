@@ -36,7 +36,13 @@ import sys
 from typing import Optional
 
 from repro.api import integrate, integrate_many
-from repro.backends import BackendUnavailableError, available_backends, get_backend
+from repro.backends import (
+    BackendUnavailableError,
+    available_backends,
+    backend_spec_help,
+    get_backend,
+    resolve_backend,
+)
 from repro.errors import ConfigurationError
 from repro.integrands.catalog import FACTORIES as _FACTORIES
 from repro.integrands.catalog import named_integrand
@@ -89,8 +95,8 @@ def main(argv: Optional[list] = None) -> int:
     run.add_argument("--max-eval", type=int, default=None)
     run.add_argument(
         "--backend", default="numpy",
-        help="execution backend for PAGANI: numpy (default), threaded, "
-        "threaded:<N>, process, process:<N>, cupy, or auto (route to the "
+        help="execution backend for PAGANI: one of "
+        f"{backend_spec_help()} (default numpy), or auto (route to the "
         "cheapest adequate backend); unavailable backends fall back to "
         "numpy with a warning",
     )
@@ -101,8 +107,8 @@ def main(argv: Optional[list] = None) -> int:
     comp.add_argument("--max-eval", type=int, default=50_000_000)
     comp.add_argument(
         "--backend", default="numpy",
-        help="execution backend for the PAGANI rows (baselines always "
-        "run their own substrate)",
+        help=f"execution backend for the PAGANI rows ({backend_spec_help()}; "
+        "baselines always run their own substrate)",
     )
 
     sub.add_parser("list", help="list named integrands")
@@ -118,10 +124,11 @@ def main(argv: Optional[list] = None) -> int:
     batch.add_argument("--abs-tol", type=float, default=1e-20)
     batch.add_argument(
         "--backend", default="numpy",
-        help="shared execution backend for the whole batch (numpy keeps "
-        "results bit-identical to sequential runs; threaded/process fuse "
-        "the members' evaluation chunks for throughput; auto routes the "
-        "batch by its summed first-sweep cost)",
+        help="shared execution backend for the whole batch: one of "
+        f"{backend_spec_help()} (numpy keeps results bit-identical to "
+        "sequential runs; threaded/process fuse the members' evaluation "
+        "chunks for throughput; auto routes the batch by its summed "
+        "first-sweep cost)",
     )
     batch.add_argument(
         "--chunk-budget", type=int, default=None,
@@ -163,9 +170,10 @@ def main(argv: Optional[list] = None) -> int:
     )
     serve.add_argument(
         "--backend", default="numpy",
-        help="execution backend spec for every job (each shard resolves "
-        "its own instance); auto routes each job adaptively and jobs "
-        "may pin their own with a per-job \"backend\" field",
+        help=f"execution backend spec for every job ({backend_spec_help()}; "
+        "each shard resolves its own instance); auto routes each job "
+        "adaptively and jobs may pin their own with a per-job "
+        "\"backend\" field",
     )
     serve.add_argument(
         "--shards", type=int, default=1,
@@ -323,7 +331,7 @@ def _run_serve(args) -> int:
     # With shards > 1 pass the *spec string* so every shard builds its
     # own backend instance (own pool); detect the unavailable-backend
     # fallback by name so a downgraded spec stays downgraded.
-    requested = args.backend.partition(":")[0]
+    requested = resolve_backend(args.backend).family
     backend_arg = (
         backend
         if args.shards == 1
@@ -455,7 +463,7 @@ def _run_serve_http(args) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    requested = args.backend.partition(":")[0]
+    requested = resolve_backend(args.backend).family
     backend_arg = (
         backend
         if args.shards == 1

@@ -38,11 +38,11 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.backends import BackendSpec, get_backend
+from repro.backends import BackendLike, get_backend
 from repro.core.classify import ThresholdTrace, rel_err_classify, threshold_classify
 from repro.core.regions import RegionStore
 from repro.core.result import IntegrationResult, IterationRecord, Status
-from repro.cubature.evaluation import evaluate_regions
+from repro.cubature.evaluation import SweepScratch, evaluate_regions
 from repro.cubature.rules import get_rule
 from repro.cubature.two_level import two_level_errors
 from repro.errors import ConfigurationError
@@ -95,7 +95,7 @@ class PaganiConfig:
     #: execution backend for the hot path: a registered name
     #: ("numpy", "threaded", "threaded:<N>", "cupy") or an
     #: :class:`~repro.backends.base.ArrayBackend` instance
-    backend: BackendSpec = "numpy"
+    backend: BackendLike = "numpy"
 
     def validate(self) -> None:
         if not (0.0 < self.rel_tol < 1.0):
@@ -328,6 +328,9 @@ class PaganiRun:
         self._result: Optional[IntegrationResult] = None
         self._ev = None  # pending EvaluationResult between the two phases
         self._m = 0
+        #: per-run scratch for the evaluate sweep's chunk temporaries
+        #: (engaged only on serial host backends — see evaluate_regions)
+        self._scratch = SweepScratch()
 
     # ------------------------------------------------------------------
     @property
@@ -359,6 +362,10 @@ class PaganiRun:
                 "prepare_evaluation called twice without complete_iteration"
             )
         store = self.store
+        # The sweep writes straight into the store's estimate/error/axis
+        # columns (they are rewritten wholesale every iteration anyway),
+        # so steady-state iterations allocate no fresh output arrays; the
+        # scratch does the same for the chunk temporaries.
         ev, tasks = evaluate_regions(
             self.rule,
             store.centers,
@@ -366,7 +373,11 @@ class PaganiRun:
             self.integrand,
             error_model=self.config.error_model,
             chunk_budget=self.config.chunk_budget,
+            out_estimate=store.estimate,
+            out_error=store.error,
+            out_axis=store.split_axis,
             backend=self.backend,
+            scratch=self._scratch,
             defer=True,
         )
         # Bookkeeping only after evaluate_regions succeeded: if it raises

@@ -17,6 +17,19 @@ Returned per region:
 * ``error``      — raw error estimate (before two-level refinement),
 * ``split_axis`` — axis with the largest fourth divided difference,
 * companion-rule estimates when the ``four_difference`` error model is on.
+
+Two hot-path hooks keep steady-state iterations allocation-free:
+
+* callers may pass a :class:`SweepScratch` so the chunk temporaries (the
+  point tensor, volumes, companion estimates, fourth-difference work
+  arrays) are reused across chunks and iterations instead of reallocated —
+  engaged only on backends that run chunks serially over host NumPy
+  arrays, and written with ``out=`` ufunc forms that are bit-identical to
+  the allocating expressions;
+* a backend exposing ``fused_compute_chunk`` (the compiled Numba lane,
+  :mod:`repro.backends.compiled`) replaces the whole per-chunk arithmetic
+  with its fused kernel under the same ``(estimate, error, axis)``
+  contract.
 """
 
 from __future__ import annotations
@@ -26,7 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.backends import BackendSpec, get_backend
+from repro.backends import BackendLike, get_backend
 from repro.cubature.rules import FOURTH_DIFF_RATIO, RULE_CACHE, GenzMalikRule
 
 #: cap on floats materialised per chunk (regions * points * ndim)
@@ -99,6 +112,41 @@ def _error_from_estimates(
     raise ValueError(f"unknown error model {model!r}")
 
 
+class SweepScratch:
+    """Reusable per-run scratch for the evaluate sweep's chunk temporaries.
+
+    Owns the point tensor, volume vector, companion-estimate vectors and
+    fourth-difference work arrays that :func:`compute_chunk` would
+    otherwise allocate afresh per chunk, so steady-state iterations
+    allocate O(1) new arrays.  Buffers are keyed by role and grow
+    monotonically along axis 0 (the chunk length); a chunk borrows
+    leading-row views, so a scratch serves exactly **one chunk at a
+    time** — :func:`evaluate_regions` only engages it on backends that
+    run chunks serially (``concurrent_chunks`` False) over host NumPy
+    arrays.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: Dict[str, np.ndarray] = {}
+
+    def take(
+        self, name: str, shape: Tuple[int, ...], dtype: Any = np.float64
+    ) -> np.ndarray:
+        """A ``shape``-sized view of the named buffer (grown if needed)."""
+        buf = self._bufs.get(name)
+        if (
+            buf is None
+            or buf.dtype != dtype
+            or buf.shape[1:] != shape[1:]
+            or buf.shape[0] < shape[0]
+        ):
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[name] = buf
+        return buf[: shape[0]]
+
+
 def compute_chunk(
     bk,
     dr,
@@ -106,6 +154,7 @@ def compute_chunk(
     c,
     h,
     error_model: str,
+    scratch: Optional[SweepScratch] = None,
 ) -> Tuple[Any, Any, Any]:
     """Evaluate one chunk of regions; return ``(estimate, error, axis)``.
 
@@ -119,35 +168,88 @@ def compute_chunk(
     ``c`` / ``h`` are the chunk's ``(mc, n)`` center/halfwidth slices on
     ``bk``'s array type; ``dr`` is the matching
     :class:`~repro.cubature.rules.DeviceRule`.
+
+    With a ``scratch``, every temporary is written into a reusable buffer
+    through ``out=`` ufunc forms chosen to be **bit-identical** to the
+    allocating expressions (commutative operand reorders and explicit
+    two-step chains only — never a different reduction order), so the two
+    modes produce the same bits and the golden/bit-identity suites hold
+    for both.
     """
     mc, n = c.shape
     p = dr.points.shape[0]
     need_companions = error_model in ("four_difference", "cascade")
 
-    # (mc, p, n) = c + ref * h  (broadcast over the point axis)
-    pts = c[:, None, :] + dr.points[None, :, :] * h[:, None, :]
+    if scratch is None:
+        # (mc, p, n) = c + ref * h  (broadcast over the point axis)
+        pts = c[:, None, :] + dr.points[None, :, :] * h[:, None, :]
+    else:
+        # Same arithmetic around the reusable buffer: (ref * h) + c —
+        # float addition is commutative bit-for-bit.
+        pts = scratch.take("pts", (mc, p, n))
+        np.multiply(dr.points[None, :, :], h[:, None, :], out=pts)
+        np.add(pts, c[:, None, :], out=pts)
     vals = bk.map_integrand(integrand, pts.reshape(-1, n))
     vals = vals.reshape(mc, p)
-    vol = np.prod(2.0 * h, axis=1)  # (mc,)
-
-    i7 = vol * (vals @ dr.w7)
-    i5 = vol * (vals @ dr.w5)
-    if need_companions:
-        i3a = vol * (vals @ dr.w3a)
-        i3b = vol * (vals @ dr.w3b)
-        i1 = vol * (vals @ dr.w1)
-        err = _error_from_estimates(i7, i5, i3a, i3b, i1, error_model)
+    if scratch is None:
+        vol = np.prod(2.0 * h, axis=1)  # (mc,)
     else:
+        h2 = scratch.take("h2", (mc, n))
+        np.multiply(2.0, h, out=h2)
+        vol = scratch.take("vol", (mc,))
+        np.prod(h2, axis=1, out=vol)
+
+    def contract(w: np.ndarray, name: str):
+        # vol * (vals @ w), optionally into a scratch vector
+        if scratch is None:
+            return vol * (vals @ w)
+        out = scratch.take(name, (mc,))
+        np.matmul(vals, w, out=out)
+        np.multiply(vol, out, out=out)
+        return out
+
+    i7 = contract(dr.w7, "i7")
+    i5 = contract(dr.w5, "i5")
+    if need_companions:
+        i3a = contract(dr.w3a, "i3a")
+        i3b = contract(dr.w3b, "i3b")
+        i1 = contract(dr.w1, "i1")
+        err = _error_from_estimates(i7, i5, i3a, i3b, i1, error_model)
+    elif scratch is None:
         err = np.abs(i7 - i5)
+    else:
+        err = scratch.take("err", (mc,))
+        np.subtract(i7, i5, out=err)
+        np.abs(err, out=err)
 
     # Fourth divided differences per axis:
     #   D_i = |(f(+λ2 e_i) + f(−λ2 e_i) − 2 f(0))
     #          − (λ2²/λ3²) (f(+λ3 e_i) + f(−λ3 e_i) − 2 f(0))|
     f0 = vals[:, 0][:, None]  # (mc, 1)
-    d2 = vals[:, dr.idx2_plus] + vals[:, dr.idx2_minus] - 2.0 * f0
-    d3 = vals[:, dr.idx3_plus] + vals[:, dr.idx3_minus] - 2.0 * f0
-    fourth = np.abs(d2 - FOURTH_DIFF_RATIO * d3)  # (mc, n)
-    axis = np.argmax(fourth, axis=1)
+    if scratch is None:
+        d2 = vals[:, dr.idx2_plus] + vals[:, dr.idx2_minus] - 2.0 * f0
+        d3 = vals[:, dr.idx3_plus] + vals[:, dr.idx3_minus] - 2.0 * f0
+        fourth = np.abs(d2 - FOURTH_DIFF_RATIO * d3)  # (mc, n)
+        axis = np.argmax(fourth, axis=1)
+    else:
+        f02 = scratch.take("f02", (mc, 1))
+        np.multiply(2.0, f0, out=f02)
+        d2 = scratch.take("d2", (mc, n))
+        d3 = scratch.take("d3", (mc, n))
+        tmp = scratch.take("dtmp", (mc, n))
+        np.take(vals, dr.idx2_plus, axis=1, out=d2)
+        np.take(vals, dr.idx2_minus, axis=1, out=tmp)
+        np.add(d2, tmp, out=d2)
+        np.subtract(d2, f02, out=d2)
+        np.take(vals, dr.idx3_plus, axis=1, out=d3)
+        np.take(vals, dr.idx3_minus, axis=1, out=tmp)
+        np.add(d3, tmp, out=d3)
+        np.subtract(d3, f02, out=d3)
+        np.multiply(FOURTH_DIFF_RATIO, d3, out=d3)
+        np.subtract(d2, d3, out=d2)
+        np.abs(d2, out=d2)  # d2 is now the fourth-difference magnitude
+        axis = scratch.take("axis", (mc,), dtype=np.intp)
+        np.argmax(d2, axis=1, out=axis)
     return i7, err, axis
 
 
@@ -228,7 +330,8 @@ def evaluate_regions(
     out_estimate: Optional[np.ndarray] = None,
     out_error: Optional[np.ndarray] = None,
     out_axis: Optional[np.ndarray] = None,
-    backend: BackendSpec = None,
+    backend: BackendLike = None,
+    scratch: Optional[SweepScratch] = None,
     defer: bool = False,
 ) -> EvaluationResult | Tuple[EvaluationResult, List[Callable[[], None]]]:
     """Evaluate a batch of axis-aligned regions with the Genz–Malik rule set.
@@ -253,6 +356,12 @@ def evaluate_regions(
         results at ULP level through BLAS kernel selection, so callers
         that promise bit-identical output must keep ``chunk_budget``
         fixed.)
+    scratch:
+        Optional :class:`SweepScratch` reusing the chunk temporaries
+        across chunks and calls (see :func:`compute_chunk`; bit-identical
+        to the allocating path).  Silently disengaged on backends that
+        run chunks concurrently or on non-NumPy array types, so callers
+        may pass their scratch unconditionally.
     defer:
         When True, do **not** execute the sweep: return
         ``(result, tasks)`` where ``tasks`` is the list of chunk thunks
@@ -290,6 +399,13 @@ def evaluate_regions(
     # the point set and weights a single time instead of per sweep.
     dr = RULE_CACHE.device_rule(rule, bk)
 
+    # A scratch serves one chunk at a time over host NumPy arrays only.
+    if scratch is not None and (bk.concurrent_chunks or bk.xp is not np):
+        scratch = None
+    # Compiled-lane hook: a backend exposing ``fused_compute_chunk``
+    # replaces the per-chunk arithmetic with its fused kernel.
+    fused = getattr(bk, "fused_compute_chunk", None)
+
     # Process backends execute chunks in worker processes when the
     # integrand can be shipped (catalogue spec or picklable callable);
     # workers rebuild the rule tensors from the ndim alone.
@@ -301,10 +417,16 @@ def evaluate_regions(
 
     def chunk_task(lo: int, hi: int) -> ChunkTask:
         def work() -> None:
-            i7, err, ax = compute_chunk(
-                bk, dr, integrand, centers[lo:hi], halfwidths[lo:hi],
-                error_model,
-            )
+            if fused is not None:
+                i7, err, ax = fused(
+                    dr, integrand, centers[lo:hi], halfwidths[lo:hi],
+                    error_model,
+                )
+            else:
+                i7, err, ax = compute_chunk(
+                    bk, dr, integrand, centers[lo:hi], halfwidths[lo:hi],
+                    error_model, scratch=scratch,
+                )
             estimate[lo:hi] = i7
             error[lo:hi] = err
             axis[lo:hi] = ax

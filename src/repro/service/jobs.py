@@ -154,6 +154,68 @@ class JobSpec:
         return out
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_request(
+        cls,
+        integrand: Union[str, Callable[[np.ndarray], np.ndarray]],
+        request: "Any",
+        *,
+        ndim: Optional[int] = None,
+        priority: int = 1,
+        label: Optional[str] = None,
+    ) -> "JobSpec":
+        """Build a job from an :class:`repro.api.IntegrationRequest`.
+
+        The request carries the numerical options shared with
+        :func:`repro.api.integrate`; the job adds the service-side
+        identity (integrand, priority, label).  A live
+        :class:`~repro.backends.base.ArrayBackend` in ``request.backend``
+        is flattened to its spec string so the job stays serialisable.
+        """
+        from repro.backends import resolve_backend
+
+        if request.method != "pagani":
+            raise ConfigurationError(
+                "the job service runs the PAGANI loop; got "
+                f"method={request.method!r}"
+            )
+        backend = request.backend
+        if backend is not None and not isinstance(backend, str):
+            backend = resolve_backend(backend).spec
+        spec = cls(
+            integrand=integrand,
+            ndim=ndim,
+            bounds=request.bounds,
+            rel_tol=request.rel_tol,
+            abs_tol=request.abs_tol,
+            priority=priority,
+            label=label,
+            max_iterations=request.max_iterations,
+            relerr_filtering=request.relerr_filtering,
+            backend=backend,
+        )
+        spec.validate()
+        return spec
+
+    def to_request(self) -> "Any":
+        """The :class:`repro.api.IntegrationRequest` view of this job.
+
+        Inverse of :meth:`from_request` for the shared numerical fields;
+        the service-only fields (integrand, priority, label) do not
+        travel.
+        """
+        from repro.api import IntegrationRequest  # circular at import time
+
+        return IntegrationRequest(
+            bounds=self.bounds,
+            rel_tol=self.rel_tol,
+            abs_tol=self.abs_tol,
+            backend=self.backend,
+            max_iterations=self.max_iterations,
+            relerr_filtering=self.relerr_filtering,
+        )
+
+    # ------------------------------------------------------------------
     def resolve(self) -> "ResolvedJob":
         """Materialise the callable, domain and cache identity."""
         self.validate()

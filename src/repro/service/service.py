@@ -51,7 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.backends import ArrayBackend, BackendSpec, get_backend, new_backend
+from repro.backends import ArrayBackend, BackendLike, get_backend, new_backend
 from repro.batch import BatchMemberError, BatchScheduler
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.errors import ConfigurationError
@@ -238,7 +238,7 @@ class IntegrationService:
     def __init__(
         self,
         max_concurrent: int = 4,
-        backend: BackendSpec = None,
+        backend: BackendLike = None,
         cache: Union[bool, ResultCache] = True,
         cache_entries: int = 256,
         chunk_budget: Optional[int] = None,
@@ -650,15 +650,12 @@ class IntegrationService:
                         self._coalesced += 1
                         continue
 
-            cfg = PaganiConfig(
-                rel_tol=spec.rel_tol,
-                abs_tol=spec.abs_tol,
-                relerr_filtering=resolved.relerr_filtering,
-                backend=run_backend,
-                chunk_budget=chunk_budget,
+            # The job's numerical options and integrate()'s kwargs meet
+            # in IntegrationRequest, so service runs and API runs build
+            # their PaganiConfig through the same code path.
+            cfg = spec.to_request().to_pagani_config(
+                resolved.fn, backend=run_backend, chunk_budget=chunk_budget
             )
-            if spec.max_iterations is not None:
-                cfg.max_iterations = spec.max_iterations
             try:
                 run = PaganiIntegrator(cfg).start_run(
                     resolved.fn, resolved.ndim, bounds=resolved.bounds,

@@ -29,9 +29,15 @@ from repro.errors import ConfigurationError
 from repro.integrands.genz import GenzFamily, make_genz
 
 #: every backend we try; unavailable ones skip rather than fail
-ALL_BACKEND_SPECS = ["numpy", "threaded", "threaded:2", "process", "process:2", "cupy"]
+ALL_BACKEND_SPECS = [
+    "numpy", "threaded", "threaded:2", "process", "process:2",
+    "numba", "numba:2", "cupy",
+]
 
-#: backends sharing NumPy's array library must be bit-identical to it
+#: backends sharing NumPy's array library *and* chunk arithmetic must be
+#: bit-identical to it; numba's fused kernel sums sequentially per region
+#: (BLAS sums blocked), so the compiled lane is held to the same
+#: machine-precision contract as cupy instead
 EXACT_SPECS = {"numpy", "threaded", "threaded:2", "process", "process:2"}
 
 
@@ -84,7 +90,9 @@ def test_new_backend_builds_fresh_instances():
     assert new_backend(inst) is inst       # instances pass through
 
 
-@pytest.mark.parametrize("spec", ["nope", "threaded:x", "process:x", "numpy:4", 3.5])
+@pytest.mark.parametrize(
+    "spec", ["nope", "threaded:x", "process:x", "numba:x", "numpy:4", 3.5]
+)
 def test_get_backend_rejects_bad_specs(spec):
     with pytest.raises(ConfigurationError):
         get_backend(spec)

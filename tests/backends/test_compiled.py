@@ -1,0 +1,156 @@
+"""Compiled kernel lane: spec parsing, probe gating and ULP conformance.
+
+The heavy end-to-end agreement battery lives in ``test_backends.py``
+(the ``numba``/``numba:2`` entries of ``ALL_BACKEND_SPECS``); this file
+covers the lane's own contracts — the single spec parser, the cached
+availability probe and its fallback behaviour, and the fused kernel's
+machine-precision agreement with the reference chunk arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendSpec,
+    BackendUnavailableError,
+    available_backends,
+    backend_spec_help,
+    get_backend,
+    new_backend,
+    numba_available,
+    resolve_backend,
+)
+from repro.backends import compiled
+from repro.backends.routing import BackendRouter
+from repro.errors import ConfigurationError
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed on this host"
+)
+
+
+# ---------------------------------------------------------------------------
+# resolve_backend / BackendSpec: the one authoritative spec parser
+# ---------------------------------------------------------------------------
+def test_resolve_backend_parses_plain_and_width_specs():
+    assert resolve_backend("numpy") == BackendSpec("numpy")
+    assert resolve_backend("numba") == BackendSpec("numba")
+    assert resolve_backend("numba:3") == BackendSpec("numba", 3)
+    assert resolve_backend("process:8") == BackendSpec("process", 8)
+    assert resolve_backend("auto") == BackendSpec("auto")
+
+
+def test_resolve_backend_none_is_the_reference_backend():
+    assert resolve_backend(None) == BackendSpec("numpy")
+
+
+def test_resolve_backend_instance_and_spec_passthrough():
+    bk = get_backend("numpy")
+    assert resolve_backend(bk) == BackendSpec("numpy")
+    parsed = BackendSpec("threaded", 4)
+    assert resolve_backend(parsed) is parsed
+
+
+def test_backend_spec_roundtrips_to_canonical_string():
+    assert BackendSpec("numpy").spec == "numpy"
+    assert BackendSpec("numba", 2).spec == "numba:2"
+    assert resolve_backend(BackendSpec("process", 4).spec) == BackendSpec(
+        "process", 4
+    )
+
+
+@pytest.mark.parametrize("bad", ["numba:x", "process:", "threaded:2.5"])
+def test_resolve_backend_rejects_malformed_width(bad):
+    with pytest.raises(ConfigurationError, match="bad worker count"):
+        resolve_backend(bad)
+
+
+def test_resolve_backend_rejects_non_specs():
+    with pytest.raises(ConfigurationError, match="name or ArrayBackend"):
+        resolve_backend(3.5)
+
+
+def test_backend_spec_help_lists_registry_with_width_syntax():
+    text = backend_spec_help()
+    assert "numba[:N]" in text
+    assert "process[:N]" in text
+    assert "numpy" in text
+    assert "cupy" in text
+
+
+# ---------------------------------------------------------------------------
+# Probe gating: a host without numba degrades loudly and completely
+# ---------------------------------------------------------------------------
+def test_unavailable_probe_blocks_construction(monkeypatch):
+    monkeypatch.setattr(
+        compiled, "_NUMBA_PROBE", (False, "ImportError: forced off")
+    )
+    with pytest.raises(BackendUnavailableError, match="forced off"):
+        new_backend("numba")
+    with pytest.raises(BackendUnavailableError):
+        new_backend("numba:2")
+    assert "numba" not in available_backends()
+
+
+def test_unavailable_probe_removes_router_candidate(monkeypatch):
+    monkeypatch.setattr(
+        compiled, "_NUMBA_PROBE", (False, "ImportError: forced off")
+    )
+    router = BackendRouter(process=False, cupy=False)
+    assert router._candidates() == ["numpy"]
+
+
+def test_forced_probe_advertises_router_candidate():
+    router = BackendRouter(process=False, cupy=False, numba=True)
+    assert "numba" in router._candidates()
+    decision = router.decide(6)
+    assert "numba" in decision.predicted_seconds
+
+
+# ---------------------------------------------------------------------------
+# Fused-kernel conformance (runs only where numba is installed, e.g. CI)
+# ---------------------------------------------------------------------------
+@needs_numba
+def test_numba_spec_parses_width():
+    assert get_backend("numba:3").num_threads == 3
+
+
+@needs_numba
+@pytest.mark.parametrize("model", ["two_rule", "four_difference", "cascade"])
+def test_fused_chunk_matches_reference_to_ulp(model, rng):
+    from repro.cubature.evaluation import compute_chunk
+    from repro.cubature.rules import RULE_CACHE, get_rule
+
+    ndim = 5
+    rule = get_rule(ndim)
+    bk = get_backend("numba:2")
+    dr = RULE_CACHE.device_rule(rule, bk)
+    m = 53
+    c = rng.random((m, ndim)) * 0.8 + 0.1
+    h = np.full((m, ndim), 0.05)
+
+    def f(x):
+        return np.exp(-np.sum(x**2, axis=1))
+
+    ref_est, ref_err, ref_ax = compute_chunk(
+        get_backend("numpy"), dr, f, c, h, model
+    )
+    est, err, ax = bk.fused_compute_chunk(dr, f, c, h, model)
+    np.testing.assert_allclose(est, ref_est, rtol=1e-13)
+    np.testing.assert_allclose(err, ref_err, rtol=1e-12, atol=1e-300)
+    np.testing.assert_array_equal(ax, ref_ax)
+
+
+@needs_numba
+def test_numba_end_to_end_matches_numpy_to_ulp():
+    from repro.api import integrate
+    from repro.integrands.genz import GenzFamily, make_genz
+
+    f = make_genz(GenzFamily.GAUSSIAN, 4, seed=11)
+    ref = integrate(f, 4, rel_tol=1e-4, backend="numpy")
+    got = integrate(f, 4, rel_tol=1e-4, backend="numba")
+    assert got.estimate == pytest.approx(ref.estimate, rel=1e-12)
+    assert got.errorest == pytest.approx(ref.errorest, rel=1e-9)
+    assert got.neval == ref.neval

@@ -129,9 +129,16 @@ def test_split_would_fit_predicts_capacity():
     dev = VirtualDevice(DeviceSpec.scaled(mem_mb=1, name="tiny"))
     store = RegionStore.uniform_split(UNIT, 4, device=dev)
     bpr = bytes_per_region(3)
-    n_max = dev.memory.capacity // (3 * bpr)
-    assert store.split_would_fit(int(n_max) - store.size)
-    assert not store.split_would_fit(int(n_max) + store.size + 1)
+    # Capacity grows by doubling from the current reservation; the fit
+    # check asks whether the reservation covering 2*n_active children
+    # still fits in the pool.  Find the largest reachable capacity.
+    cap = store.size
+    while (2 * cap * bpr) - store.nbytes_device <= dev.memory.available:
+        cap *= 2
+    # Splitting cap/2 active regions needs exactly `cap` rows: fits.
+    assert store.split_would_fit(cap // 2)
+    # Splitting cap active regions needs the next doubling: does not fit.
+    assert not store.split_would_fit(cap)
 
 
 def test_store_without_device_never_blocks():
