@@ -2058,6 +2058,202 @@ def print_kernels_bench(data: dict) -> None:
               f"{exp['min_cores']}: speedup expectation not enforced")
 
 
+# ---------------------------------------------------------------------------
+# Workload-scenarios benchmark (--scenarios): BENCH_scenarios.json.
+#
+# The opened workload space end-to-end: transform-spec integrands (one
+# per family), a fused parameter sweep, and a baseline-escalation run
+# whose PAGANI attempt is deliberately watchdogged into failure.  The
+# artifact is primarily a *correctness* record — every row carries its
+# status and, for the escalation row, the full stage provenance; the
+# gate asserts the honesty contract (an escalated run is never
+# relabelled as native converged PAGANI) rather than wall clock.
+# ---------------------------------------------------------------------------
+SCENARIOS_BENCH_FILE = "BENCH_scenarios.json"
+
+#: transform rows: one canonical spec per family
+SCENARIO_TRANSFORMS = (
+    "semi_infinite(3D-f4, scale=2.0)",
+    "infinite(2D-genz-gaussian, scale=1.5)",
+    "gaussian_measure(2D-f4, mean=0.5, sigma=0.8)",
+)
+
+SCENARIO_SWEEP = "sweep:gaussian_measure(2D-f4, sigma=0.5;0.8;1.0)"
+
+#: escalation scenario: watchdog=1 forces the PAGANI attempt to fail so
+#: the ladder runs; the rung tolerance is reachable by two_phase
+SCENARIO_ESCALATION = {
+    "spec": "3D-f4",
+    "rel_tol": 1e-6,
+    "escalation": "two_phase>qmc;watchdog=1",
+}
+
+SCENARIOS_REL_TOL = 1e-4
+
+
+def run_scenarios_bench(smoke: bool = False) -> dict:
+    """Run the transform / sweep / escalation scenarios on numpy."""
+    import platform
+    import time as _time
+
+    from repro.api import integrate, integrate_sweep
+    from repro.integrands.catalog import named_integrand
+
+    transforms = []
+    specs = SCENARIO_TRANSFORMS[:1] if smoke else SCENARIO_TRANSFORMS
+    for spec in specs:
+        f = named_integrand(spec)
+        t0 = _time.perf_counter()
+        res = integrate(f, f.ndim, rel_tol=SCENARIOS_REL_TOL, backend="numpy")
+        transforms.append({
+            "spec": spec,
+            "canonical_spec": f.spec,
+            "rel_tol": SCENARIOS_REL_TOL,
+            "estimate": res.estimate,
+            "estimate_hex": float(res.estimate).hex(),
+            "errorest": res.errorest,
+            "neval": res.neval,
+            "status": res.status.value,
+            "converged": res.converged,
+            "wall_seconds": _time.perf_counter() - t0,
+        })
+
+    t0 = _time.perf_counter()
+    pairs = integrate_sweep(SCENARIO_SWEEP, rel_tol=SCENARIOS_REL_TOL)
+    sweep = {
+        "spec": SCENARIO_SWEEP,
+        "rel_tol": SCENARIOS_REL_TOL,
+        "members": [
+            {
+                "spec": member_spec,
+                "estimate": res.estimate,
+                "estimate_hex": float(res.estimate).hex(),
+                "errorest": res.errorest,
+                "status": res.status.value,
+                "converged": res.converged,
+            }
+            for member_spec, res in pairs
+        ],
+        "wall_seconds": _time.perf_counter() - t0,
+    }
+
+    esc_cfg = SCENARIO_ESCALATION
+    f = named_integrand(esc_cfg["spec"])
+    t0 = _time.perf_counter()
+    res = integrate(
+        f, f.ndim, rel_tol=esc_cfg["rel_tol"],
+        escalation=esc_cfg["escalation"],
+    )
+    escalation = {
+        "spec": esc_cfg["spec"],
+        "rel_tol": esc_cfg["rel_tol"],
+        "policy": esc_cfg["escalation"],
+        "escalated": res.escalated,
+        "final_method": res.method,
+        "final_status": res.status.value,
+        "converged": res.converged,
+        "estimate": res.estimate,
+        "estimate_hex": float(res.estimate).hex(),
+        "errorest": res.errorest,
+        "stages": [
+            {
+                "method": s.method,
+                "status": s.status.value,
+                "neval": s.neval,
+                "error": s.error,
+            }
+            for s in (res.escalation or [])
+        ],
+        "wall_seconds": _time.perf_counter() - t0,
+    }
+
+    return {
+        "schema": 1,
+        "suite": "pagani-scenarios-bench",
+        "mode": "smoke" if smoke else ("full" if full_mode() else "quick"),
+        "generated_by": (
+            "PYTHONPATH=src python benchmarks/harness.py --scenarios"
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count() or 1,
+        },
+        "transforms": transforms,
+        "sweep": sweep,
+        "escalation": escalation,
+    }
+
+
+def scenarios_bench_problems(data: dict) -> List[str]:
+    """Hard-failure list for --scenarios (shared with the CI gate)."""
+    problems: List[str] = []
+    for row in data["transforms"]:
+        if not row["converged"]:
+            problems.append(f"transform {row['spec']}: DNF ({row['status']})")
+        if not row.get("canonical_spec"):
+            problems.append(
+                f"transform {row['spec']}: integrand lost its canonical "
+                "spec (uncacheable, unshippable)"
+            )
+    for member in data["sweep"]["members"]:
+        if not member["converged"]:
+            problems.append(
+                f"sweep member {member['spec']}: DNF ({member['status']})"
+            )
+    esc = data["escalation"]
+    if not esc["escalated"]:
+        problems.append(
+            "escalation scenario did not escalate — the watchdog failed "
+            "to trip the PAGANI attempt"
+        )
+    stages = esc["stages"]
+    if not stages or stages[0]["method"] != "pagani":
+        problems.append("escalation history does not start with pagani")
+    # the honesty contract: the final result must carry the rung's own
+    # method, never be relabelled as a converged native PAGANI run
+    if esc["escalated"] and esc["final_method"] == "pagani" and esc["converged"]:
+        problems.append(
+            "escalated result relabelled as converged native PAGANI"
+        )
+    if stages and stages[-1]["status"] != esc["final_status"]:
+        problems.append(
+            "final stage status disagrees with the result status"
+        )
+    return problems
+
+
+def write_scenarios_bench(data: dict, out: Optional[Path] = None) -> Path:
+    """Write the scenarios payload as pretty JSON; return the path."""
+    return _write_bench_json(data, out, SCENARIOS_BENCH_FILE)
+
+
+def print_scenarios_bench(data: dict) -> None:
+    body = []
+    for row in data["transforms"]:
+        body.append([
+            "transform", row["spec"], row["status"],
+            f"{row['estimate']:.6g}", f"{row['wall_seconds']:.3f}s",
+        ])
+    for member in data["sweep"]["members"]:
+        body.append([
+            "sweep", member["spec"], member["status"],
+            f"{member['estimate']:.6g}", "-",
+        ])
+    esc = data["escalation"]
+    ladder = "->".join(s["method"] for s in esc["stages"])
+    body.append([
+        "escalation", f"{esc['spec']} [{ladder}]", esc["final_status"],
+        f"{esc['estimate']:.6g}", f"{esc['wall_seconds']:.3f}s",
+    ])
+    print_table(
+        f"Workload-scenarios benchmark ({data['mode']})",
+        ["kind", "spec", "status", "estimate", "wall"],
+        body,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry: run the backend benchmark and write BENCH_backends.json."""
     import argparse
@@ -2122,6 +2318,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"(writes results/{KERNELS_BENCH_FILE})",
     )
     ap.add_argument(
+        "--scenarios", action="store_true",
+        help="run the workload-scenarios benchmark instead: transform-spec "
+        "integrands, a fused parameter sweep, and a baseline-escalation "
+        "run with full stage provenance "
+        f"(writes results/{SCENARIOS_BENCH_FILE})",
+    )
+    ap.add_argument(
         "--out", default=None,
         help="output path (default: results/"
         f"{BACKEND_BENCH_FILE}, {BATCH_BENCH_FILE} or {SERVICE_BENCH_FILE})",
@@ -2129,12 +2332,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = ap.parse_args(argv)
 
     if sum((args.batch, args.service, args.process, args.http,
-            args.routing, args.kernels)) > 1:
+            args.routing, args.kernels, args.scenarios)) > 1:
         print("error: pick one of --batch / --service / --process / --http "
-              "/ --routing / --kernels",
+              "/ --routing / --kernels / --scenarios",
               file=sys.stderr)
         return 2
     backends = args.backends.split(",") if args.backends else None
+    if args.scenarios:
+        data = run_scenarios_bench(smoke=args.smoke)
+        path = write_scenarios_bench(data, out=args.out)
+        print_scenarios_bench(data)
+        print(f"\nwrote {path}")
+        problems = scenarios_bench_problems(data)
+        for problem in problems:
+            print(f"WARNING: {problem}")
+        return 1 if problems else 0
     if args.kernels:
         data = run_kernels_bench(smoke=args.smoke)
         if not data["lanes"]:

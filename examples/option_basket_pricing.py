@@ -64,8 +64,12 @@ def reference_price(n: int = 2_000_000, seed: int = 7) -> tuple[float, float]:
     return float(np.mean(pay)), float(np.std(pay) / np.sqrt(n))
 
 
-def main() -> None:
-    mc_price, mc_se = reference_price()
+def main(quick: bool = False) -> None:
+    """``quick=True`` shrinks the MC reference and loosens the cubature
+    goal so CI can smoke-test the whole pricing pipeline in seconds."""
+    mc_price, mc_se = reference_price(n=200_000 if quick else 2_000_000)
+    rel_tol = 1e-3 if quick else 2e-4
+    max_eval = 5_000_000 if quick else 30_000_000
     print(f"Monte Carlo reference price: {mc_price:.4f} ± {mc_se:.4f} (1σ)\n")
 
     integrand = Integrand(
@@ -80,8 +84,8 @@ def main() -> None:
           f"{'sim ms':>10} {'status':>18}")
     for method in ("pagani", "cuhre", "qmc"):
         res = integrate(
-            integrand, N_ASSETS, rel_tol=2e-4, method=method,
-            max_eval=30_000_000,
+            integrand, N_ASSETS, rel_tol=rel_tol, method=method,
+            max_eval=max_eval,
         )
         print(
             f"{method:<10} {res.estimate:>10.4f} {res.errorest:>10.2e} "

@@ -33,6 +33,7 @@ from repro.api import (
     integrate,
     integrate_many,
     integrate_request,
+    integrate_sweep,
     serve_http,
     serve_jobs,
 )
@@ -42,6 +43,7 @@ from repro.core.result import IntegrationResult, Status
 from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
 from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
 from repro.baselines.qmc import QmcConfig, QmcIntegrator
+from repro.baselines.vegas import VegasConfig, VegasIntegrator
 from repro.gpu.device import DeviceSpec, VirtualDevice
 from repro.integrands.base import Integrand, ScalarIntegrand
 
@@ -51,6 +53,7 @@ __all__ = [
     "integrate",
     "integrate_many",
     "integrate_request",
+    "integrate_sweep",
     "IntegrationRequest",
     "serve_jobs",
     "serve_http",
@@ -63,6 +66,8 @@ __all__ = [
     "TwoPhaseConfig",
     "TwoPhaseIntegrator",
     "QmcConfig",
+    "VegasConfig",
+    "VegasIntegrator",
     "QmcIntegrator",
     "DeviceSpec",
     "VirtualDevice",

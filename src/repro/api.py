@@ -40,12 +40,13 @@ from repro.backends import BackendLike, get_backend
 from repro.baselines.cuhre import CuhreConfig, CuhreIntegrator
 from repro.baselines.qmc import QmcConfig, QmcIntegrator
 from repro.baselines.two_phase import TwoPhaseConfig, TwoPhaseIntegrator
+from repro.baselines.vegas import VegasConfig, VegasIntegrator
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.core.result import IntegrationResult
 from repro.errors import ConfigurationError
 from repro.gpu.device import DeviceSpec, VirtualDevice
 
-_METHODS = ("pagani", "cuhre", "two_phase", "qmc")
+_METHODS = ("pagani", "cuhre", "two_phase", "qmc", "vegas")
 
 
 @dataclass(frozen=True)
@@ -79,7 +80,18 @@ class IntegrationRequest:
         §3.5.1 flag; ``None`` reads the integrand's ``sign_definite``
         attribute at run time.
     method:
-        ``"pagani"`` (default) or a baseline.
+        ``"pagani"`` (default) or a baseline (``"cuhre"``,
+        ``"two_phase"``, ``"qmc"``, ``"vegas"``).
+    escalation:
+        ``None`` (default) disables baseline escalation.  Anything else
+        is parsed by
+        :meth:`repro.service.escalation.EscalationPolicy.parse` — e.g.
+        ``"default"`` or an explicit ladder ``"two_phase>vegas>qmc"`` —
+        and canonicalised to the policy's descriptor string, so equal
+        policies hash/compare equally.  When set (``method="pagani"``
+        only), a run that ends in ``MEMORY_EXHAUSTED`` / the iteration
+        watchdog is re-run down the ladder with the full per-stage
+        history attached to the result (see ``result.escalation``).
 
     Examples
     --------
@@ -98,8 +110,20 @@ class IntegrationRequest:
     max_iterations: Optional[int] = None
     relerr_filtering: Optional[bool] = None
     method: str = "pagani"
+    escalation: Optional[str] = None
 
     def __post_init__(self) -> None:
+        # Canonicalise the escalation field to the policy's descriptor
+        # string (value semantics: two spellings of the same ladder
+        # compare and fingerprint equally).  Malformed values raise here,
+        # at construction, like a malformed ladder in validate() would.
+        if self.escalation is not None:
+            from repro.service.escalation import EscalationPolicy
+
+            policy = EscalationPolicy.parse(self.escalation)
+            object.__setattr__(
+                self, "escalation", policy.describe() if policy else None
+            )
         # Canonicalise well-formed bounds to nested float tuples (value
         # semantics for a frozen dataclass); malformed bounds are left
         # untouched so the integrator's shape check raises its usual
@@ -131,6 +155,11 @@ class IntegrationRequest:
             raise ConfigurationError("abs_tol must be non-negative")
         if self.max_iterations is not None and self.max_iterations < 1:
             raise ConfigurationError("max_iterations must be >= 1")
+        if self.escalation is not None and self.method != "pagani":
+            raise ConfigurationError(
+                "escalation re-runs a failed PAGANI job on the baseline "
+                f"ladder; it does not apply to method={self.method!r}"
+            )
 
     # ------------------------------------------------------------------
     def resolve_filtering(self, integrand: Optional[Callable] = None) -> bool:
@@ -196,6 +225,11 @@ def integrate_request(
         )
 
     if method == "pagani":
+        policy = None
+        if request.escalation is not None:
+            from repro.service.escalation import EscalationPolicy
+
+            policy = EscalationPolicy.parse(request.escalation)
         router = None
         backend = request.backend
         if isinstance(backend, str) and backend == "auto":
@@ -206,12 +240,23 @@ def integrate_request(
                 ndim=ndim, rel_tol=request.rel_tol
             ).backend
         cfg = request.to_pagani_config(integrand, backend=backend)
+        if policy is not None and request.max_iterations is None:
+            # the stall watchdog: bound the PAGANI attempt so a
+            # non-converging run reaches the ladder instead of burning
+            # the full default iteration budget
+            cfg.max_iterations = min(
+                cfg.max_iterations, policy.watchdog_iterations
+            )
         result = PaganiIntegrator(cfg, device=device).integrate(
             integrand, ndim, bounds=request.bounds
         )
         if router is not None:
             router.observe(
                 backend, result.neval, getattr(result, "wall_seconds", 0.0) or 0.0
+            )
+        if policy is not None and policy.should_escalate(result):
+            result = policy.apply(
+                integrand, ndim, request, result, device=device
             )
     elif method == "cuhre":
         cfg = CuhreConfig(rel_tol=request.rel_tol, abs_tol=request.abs_tol)
@@ -229,6 +274,13 @@ def integrate_request(
         if request.max_iterations is not None:
             cfg.max_phase1_iterations = request.max_iterations
         result = TwoPhaseIntegrator(cfg, device=device).integrate(
+            integrand, ndim, bounds=request.bounds
+        )
+    elif method == "vegas":
+        cfg = VegasConfig(rel_tol=request.rel_tol, abs_tol=request.abs_tol)
+        if max_eval is not None:
+            cfg.max_eval = max_eval
+        result = VegasIntegrator(cfg, device=device).integrate(
             integrand, ndim, bounds=request.bounds
         )
     else:  # qmc
@@ -257,6 +309,7 @@ def integrate(
     max_eval: Optional[int] = None,
     max_iterations: Optional[int] = None,
     backend: BackendLike = None,
+    escalation=None,
     request: Optional[IntegrationRequest] = None,
 ) -> IntegrationResult:
     """Integrate a batch callable over an axis-aligned box.
@@ -279,7 +332,8 @@ def integrate(
         Termination tolerances (paper defaults: τ_abs = 1e-20 so τ_rel
         governs).
     method:
-        ``"pagani"`` (default), ``"cuhre"``, ``"two_phase"`` or ``"qmc"``.
+        ``"pagani"`` (default), ``"cuhre"``, ``"two_phase"``, ``"qmc"``
+        or ``"vegas"``.
     device:
         Virtual device for the GPU methods (memory-scaled V100 by default).
     relerr_filtering:
@@ -301,6 +355,12 @@ def integrate(
         (cheapest adequate backend for the job's predicted first-sweep
         cost; the observed timing refines later decisions).  Only
         ``method="pagani"`` accepts a non-default backend.
+    escalation:
+        Baseline escalation policy for failed PAGANI runs — ``None``
+        (off, default), ``"default"``, an explicit ladder string like
+        ``"two_phase>vegas>qmc"``, or an
+        :class:`~repro.service.escalation.EscalationPolicy`.  See
+        :class:`IntegrationRequest`.
 
     Returns
     -------
@@ -344,11 +404,57 @@ def integrate(
         request = IntegrationRequest(
             bounds=bounds, rel_tol=rel_tol, abs_tol=abs_tol, backend=backend,
             max_iterations=max_iterations, relerr_filtering=relerr_filtering,
-            method=method,
+            method=method, escalation=escalation,
         )
     return integrate_request(
         integrand, ndim, request, device=device, max_eval=max_eval
     )
+
+
+def integrate_sweep(
+    spec: str,
+    rel_tol: float = 1e-3,
+    abs_tol: float = 1e-20,
+    backend: BackendLike = None,
+    relerr_filtering: Optional[bool] = None,
+    max_iterations: Optional[int] = None,
+    chunk_budget: Optional[int] = None,
+    request: Optional[IntegrationRequest] = None,
+) -> List[Tuple[str, IntegrationResult]]:
+    """Run a ``sweep:`` spec as one fused :func:`integrate_many` batch.
+
+    A sweep spec binds one catalogue integrand to N parameter sets, e.g.
+    ``"sweep:semi_infinite(3D-f4, scale=0.5;1.0;2.0)"`` — see
+    :func:`repro.integrands.catalog.expand_sweep` for the grammar.  The
+    members execute as one batched workload on a shared backend (their
+    PAGANI iterations interleave and their evaluation chunks fuse), and
+    each member carries its canonical spec, so every (spec, result) pair
+    is individually cacheable and process-shippable.
+
+    Returns the list of ``(canonical member spec, result)`` pairs in
+    sweep order.
+
+    Examples
+    --------
+    >>> from repro import integrate_sweep
+    >>> pairs = integrate_sweep(
+    ...     "sweep:gaussian_measure(2D-f4, sigma=0.5;1.0)", rel_tol=1e-3,
+    ... )
+    >>> [spec for spec, _ in pairs]
+    ['gaussian_measure(2d-f4, sigma=0.5)', 'gaussian_measure(2d-f4)']
+    >>> all(r.converged for _, r in pairs)
+    True
+    """
+    from repro.integrands.catalog import expand_sweep, named_integrand
+
+    members = expand_sweep(spec)
+    integrands = [named_integrand(m) for m in members]
+    results = integrate_many(
+        integrands, rel_tol=rel_tol, abs_tol=abs_tol, backend=backend,
+        relerr_filtering=relerr_filtering, max_iterations=max_iterations,
+        chunk_budget=chunk_budget, request=request,
+    )
+    return list(zip(members, results))
 
 
 def _resolve_member_bounds(
@@ -678,6 +784,7 @@ def serve_http(
     max_queued: int = 64,
     history_limit: Optional[int] = 1024,
     collect_traces: bool = False,
+    escalation=None,
 ):
     """Start the HTTP/JSON integration server; returns the running server.
 
@@ -710,6 +817,11 @@ def serve_http(
         Terminal-handle retention in the service (default 1024 — a
         network-facing server must bound its memory; the HTTP layer
         keeps its own handle map for job lookups).
+    escalation:
+        Service-wide baseline escalation default (a policy descriptor
+        such as ``"two_phase>vegas>qmc"``, ``True`` for the stock
+        ladder, ``None``/``"off"`` disabled).  Jobs may override per
+        request via their ``escalation`` field.
 
     Examples
     --------
@@ -731,6 +843,7 @@ def serve_http(
         max_concurrent=max_concurrent, backend=backend, cache=cache,
         cache_entries=cache_entries, shards=shards,
         history_limit=history_limit, collect_traces=collect_traces,
+        escalation=escalation,
     )
     return HttpIntegrationServer(
         service, host=host, port=port, max_queued=max_queued,

@@ -53,6 +53,19 @@ from repro.backends.process import process_pool_available
 #: spec string that selects routing instead of a concrete backend
 AUTO_SPEC = "auto"
 
+#: The rungs *below* every array backend in the routing hierarchy.
+#: Routing moves a PAGANI job between bit-identical execution
+#: substrates; when PAGANI itself cannot finish (``MEMORY_EXHAUSTED``,
+#: iteration watchdog), no substrate helps — the last resort is a
+#: different *algorithm*.  These baseline integrators are priced as the
+#: final candidates in that order (cheapest adequate first, mirroring
+#: the committed bench ordering) and are reachable only through the
+#: escalation policy (:mod:`repro.service.escalation`), never by the
+#: per-job backend router: an escalated result changes the numbers, so
+#: it must change the fingerprint too — routing's contract is that it
+#: never does.
+BASELINE_LAST_RESORT = ("two_phase", "vegas", "qmc")
+
 #: committed perf baseline the priors are seeded from (repo checkout);
 #: installed packages fall back to the constants below
 PRIORS_FILE = (

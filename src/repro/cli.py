@@ -35,7 +35,7 @@ import argparse
 import sys
 from typing import Optional
 
-from repro.api import integrate, integrate_many
+from repro.api import integrate, integrate_many, integrate_sweep
 from repro.backends import (
     BackendUnavailableError,
     available_backends,
@@ -45,7 +45,11 @@ from repro.backends import (
 )
 from repro.errors import ConfigurationError
 from repro.integrands.catalog import FACTORIES as _FACTORIES
-from repro.integrands.catalog import named_integrand
+from repro.integrands.catalog import (
+    expand_sweep,
+    is_sweep_spec,
+    named_integrand,
+)
 from repro.integrands.genz import GenzFamily
 
 __all__ = ["main", "named_integrand"]
@@ -87,9 +91,13 @@ def main(argv: Optional[list] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="integrate with one method")
-    run.add_argument("--integrand", required=True, help="e.g. 8D-f7, 6D-genz-gaussian")
+    run.add_argument(
+        "--integrand", required=True,
+        help="e.g. 8D-f7, 6D-genz-gaussian, semi_infinite(3D-f4, scale=2.0), "
+        "or a sweep spec like sweep:gaussian_measure(2D-f4, sigma=0.5;1.0)",
+    )
     run.add_argument("--method", default="pagani",
-                     choices=["pagani", "cuhre", "two_phase", "qmc"])
+                     choices=["pagani", "cuhre", "two_phase", "qmc", "vegas"])
     run.add_argument("--rel-tol", type=float, default=1e-3)
     run.add_argument("--abs-tol", type=float, default=1e-20)
     run.add_argument("--max-eval", type=int, default=None)
@@ -99,6 +107,13 @@ def main(argv: Optional[list] = None) -> int:
         f"{backend_spec_help()} (default numpy), or auto (route to the "
         "cheapest adequate backend); unavailable backends fall back to "
         "numpy with a warning",
+    )
+    run.add_argument(
+        "--escalate", nargs="?", const="default", default=None,
+        metavar="POLICY",
+        help="re-run failed PAGANI jobs down a baseline ladder; bare flag "
+        "uses the stock two_phase>vegas>qmc ladder, or pass a descriptor "
+        "like 'two_phase>vegas;watchdog=8;max_eval=500000' (pagani only)",
     )
 
     comp = sub.add_parser("compare", help="run all methods on one integrand")
@@ -118,7 +133,10 @@ def main(argv: Optional[list] = None) -> int:
     )
     batch.add_argument(
         "--integrands", required=True,
-        help="comma-separated specs, e.g. 3D-f3,5D-f4,6D-genz-gaussian",
+        help="comma-separated specs, e.g. 3D-f3,5D-f4,6D-genz-gaussian; "
+        "transform specs (semi_infinite(3D-f4, scale=2.0)) and sweep "
+        "specs (sweep:gaussian_measure(2D-f4, sigma=0.5;1.0), expanded "
+        "in place) are accepted too",
     )
     batch.add_argument("--rel-tol", type=float, default=1e-3)
     batch.add_argument("--abs-tol", type=float, default=1e-20)
@@ -189,6 +207,13 @@ def main(argv: Optional[list] = None) -> int:
         help="disable the result cache (every job recomputes)",
     )
     serve.add_argument(
+        "--escalate", nargs="?", const="default", default=None,
+        metavar="POLICY",
+        help="service-wide default baseline escalation for failed PAGANI "
+        "jobs (bare flag = stock two_phase>vegas>qmc ladder, or a "
+        "descriptor); per-job \"escalation\" fields override it",
+    )
+    serve.add_argument(
         "--out", default=None,
         help="write machine-readable per-job results JSON here",
     )
@@ -209,23 +234,34 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "serve":
         return _run_serve(args)
 
-    integrand = named_integrand(args.integrand)
+    if args.command == "run" and is_sweep_spec(args.integrand):
+        return _run_sweep(args)
     try:
+        integrand = named_integrand(args.integrand)
         backend = _resolve_backend(args.backend)
-    except ConfigurationError as exc:
+    except (ConfigurationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.command == "run":
-        res = integrate(
-            integrand, integrand.ndim, rel_tol=args.rel_tol,
-            abs_tol=args.abs_tol, method=args.method, max_eval=args.max_eval,
-            backend=backend if args.method == "pagani" else None,
-        )
+        try:
+            res = integrate(
+                integrand, integrand.ndim, rel_tol=args.rel_tol,
+                abs_tol=args.abs_tol, method=args.method,
+                max_eval=args.max_eval,
+                backend=backend if args.method == "pagani" else None,
+                escalation=args.escalate,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         _print_result(res, integrand.reference)
+        if res.escalated:
+            ladder = " -> ".join(s.method for s in res.escalation)
+            print(f"  escalated      : {ladder}")
         return 0 if res.converged else 1
 
     # compare
-    for method in ("pagani", "two_phase", "cuhre", "qmc"):
+    for method in ("pagani", "two_phase", "cuhre", "qmc", "vegas"):
         res = integrate(
             integrand, integrand.ndim, rel_tol=args.rel_tol,
             method=method, max_eval=args.max_eval,
@@ -235,16 +271,73 @@ def main(argv: Optional[list] = None) -> int:
     return 0
 
 
+def _run_sweep(args) -> int:
+    """``run`` with a ``sweep:`` spec: one fused parameter sweep."""
+    if args.escalate is not None:
+        print("error: --escalate applies to single runs, not sweeps",
+              file=sys.stderr)
+        return 2
+    if args.method != "pagani":
+        print("error: sweep specs run through PAGANI only", file=sys.stderr)
+        return 2
+    try:
+        backend = _resolve_backend(args.backend)
+        pairs = integrate_sweep(
+            args.integrand, rel_tol=args.rel_tol, abs_tol=args.abs_tol,
+            backend=backend,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    name_w = max(len(spec) for spec, _ in pairs)
+    print(f"{'member'.ljust(name_w)}  {'status':<16} {'estimate':>16} "
+          f"{'errorest':>10}")
+    for spec, res in pairs:
+        print(f"{spec.ljust(name_w)}  {res.status.value:<16} "
+              f"{res.estimate:>16.9g} {res.errorest:>10.3g}")
+    n_ok = sum(res.converged for _, res in pairs)
+    print(f"\n{n_ok}/{len(pairs)} members converged on backend "
+          f"{_backend_name(backend)!r}")
+    return 0 if n_ok == len(pairs) else 1
+
+
+def _split_specs(text: str):
+    """Split a comma-separated spec list, respecting parens/brackets
+    (transform specs hold commas), and expand ``sweep:`` members in
+    place."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    if depth != 0:
+        raise ValueError(f"unbalanced parentheses in spec list {text!r}")
+
+    specs = []
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        if is_sweep_spec(part):
+            specs.extend(expand_sweep(part))
+        else:
+            specs.append(part)
+    return specs
+
+
 def _run_batch(args) -> int:
     """The ``batch`` subcommand: one fused workload over a shared backend."""
     import time
 
     try:
-        members = [
-            named_integrand(spec.strip())
-            for spec in args.integrands.split(",")
-            if spec.strip()
-        ]
+        members = [named_integrand(spec) for spec in _split_specs(args.integrands)]
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -347,7 +440,7 @@ def _run_serve(args) -> int:
     service = IntegrationService(
         max_concurrent=args.max_concurrent, backend=backend_arg,
         cache=cache_arg, cache_entries=args.cache_entries,
-        shards=args.shards,
+        shards=args.shards, escalation=args.escalate,
     )
     try:
         handles = serve_jobs(specs, service=service)
@@ -367,6 +460,7 @@ def _run_serve(args) -> int:
             "rel_tol": handle.spec.rel_tol,
             "status": handle.status.value,
             "cache_hit": handle.cache_hit,
+            "escalated": handle.stats.escalated,
             "completion_index": handle.stats.completion_index,
             "queue_seconds": handle.stats.queue_seconds,
             "total_seconds": handle.stats.total_seconds,
@@ -474,7 +568,7 @@ def _run_serve_http(args) -> int:
         host=host, port=port, max_concurrent=args.max_concurrent,
         backend=backend_arg, shards=args.shards,
         cache_entries=args.cache_entries, cache_dir=args.cache_dir,
-        max_queued=args.max_queued,
+        max_queued=args.max_queued, escalation=args.escalate,
     )
     print(f"serving on {server.url} "
           f"(backend {_backend_name(backend)!r} x{args.shards} shard(s)"

@@ -14,7 +14,7 @@
 
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.core.multi_gpu import MultiGpuPagani, MultiGpuReport
-from repro.core.result import IntegrationResult, Status
+from repro.core.result import EscalationStage, IntegrationResult, Status
 from repro.core.regions import RegionStore
 from repro.core.classify import ThresholdTrace, rel_err_classify, threshold_classify
 
@@ -23,6 +23,7 @@ __all__ = [
     "PaganiIntegrator",
     "MultiGpuPagani",
     "MultiGpuReport",
+    "EscalationStage",
     "IntegrationResult",
     "Status",
     "RegionStore",

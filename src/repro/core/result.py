@@ -55,6 +55,26 @@ class IterationRecord:
 
 
 @dataclass
+class EscalationStage:
+    """One attempt in an escalation ladder (see ``service/escalation.py``).
+
+    The first stage is always the original PAGANI attempt with its honest
+    failure status; subsequent stages record each baseline tried, in
+    order, whether it succeeded or not.  ``error`` carries the exception
+    text when a stage crashed outright rather than returning a result.
+    """
+
+    method: str
+    status: Status
+    estimate: float = 0.0
+    errorest: float = 0.0
+    neval: int = 0
+    iterations: int = 0
+    wall_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
 class IntegrationResult:
     """Outcome of one integration run.
 
@@ -76,10 +96,22 @@ class IntegrationResult:
     trace: List[IterationRecord] = field(default_factory=list)
     #: populated when a reference value is known (benchmark harnesses)
     true_value: Optional[float] = None
+    #: non-``None`` exactly when this result came out of a baseline
+    #: escalation ladder: the full per-stage history, original PAGANI
+    #: attempt first.  ``status``/``method`` are then the *final* stage's —
+    #: an escalated result is never relabeled as a plain converged PAGANI
+    #: run, and the provenance travels with the result through the cache,
+    #: the durable store and the HTTP payloads.
+    escalation: Optional[List[EscalationStage]] = None
 
     @property
     def converged(self) -> bool:
         return self.status in (Status.CONVERGED_REL, Status.CONVERGED_ABS)
+
+    @property
+    def escalated(self) -> bool:
+        """True when this result was produced by a baseline escalation."""
+        return bool(self.escalation)
 
     @property
     def rel_errorest(self) -> float:
@@ -98,6 +130,9 @@ class IntegrationResult:
 
     def __str__(self) -> str:
         ok = "converged" if self.converged else f"NOT converged ({self.status.value})"
+        if self.escalated:
+            ladder = "→".join(s.method for s in self.escalation)
+            ok += f"; escalated {ladder}"
         return (
             f"{self.method or 'integration'}: {self.estimate:.12g} "
             f"± {self.errorest:.3g} [{ok}; {self.neval} evals, "

@@ -320,6 +320,40 @@ def shippable_integrand(integrand: Callable) -> Optional[Tuple[str, Any]]:
         return None
 
 
+#: names already warned about (one line per integrand per process — a
+#: 60-iteration run must not emit 60 copies of the same degradation note)
+_WARNED_UNSHIPPABLE: set = set()
+
+
+def _warn_unshippable(integrand: Callable) -> None:
+    """One-time note that a process backend degraded to in-process serial.
+
+    Closures and lambdas cannot be pickled to worker processes, so the
+    sweep silently loses its parallelism — silent is the wrong default
+    for a user who picked ``backend="process:8"`` expecting a speedup.
+    Catalogue/transform specs (``named_integrand``,
+    ``semi_infinite(named, ...)``) ship fine; this fires only for
+    anonymous callables and out-of-grammar transforms.
+    """
+    import warnings
+
+    name = getattr(integrand, "name", None) or getattr(
+        integrand, "__qualname__", None
+    ) or type(integrand).__name__
+    if name in _WARNED_UNSHIPPABLE:
+        return
+    _WARNED_UNSHIPPABLE.add(name)
+    warnings.warn(
+        f"integrand {name!r} cannot be shipped to worker processes "
+        "(no catalogue spec and not picklable); the process backend "
+        "will evaluate it in-process, serially. Use a catalogue or "
+        "transform spec (see repro.integrands.catalog) to restore "
+        "chunk parallelism.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def evaluate_regions(
     rule: GenzMalikRule,
     centers: np.ndarray,
@@ -409,11 +443,10 @@ def evaluate_regions(
     # Process backends execute chunks in worker processes when the
     # integrand can be shipped (catalogue spec or picklable callable);
     # workers rebuild the rule tensors from the ndim alone.
-    integrand_ref = (
-        shippable_integrand(integrand)
-        if getattr(bk, "wants_chunk_specs", False)
-        else None
-    )
+    wants_specs = getattr(bk, "wants_chunk_specs", False)
+    integrand_ref = shippable_integrand(integrand) if wants_specs else None
+    if wants_specs and integrand_ref is None:
+        _warn_unshippable(integrand)
 
     def chunk_task(lo: int, hi: int) -> ChunkTask:
         def work() -> None:

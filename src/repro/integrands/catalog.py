@@ -9,14 +9,43 @@ regardless of spelling (``8d-f7`` ≡ ``8D-f7``).
 
 Grammar::
 
-    <n>D-<fk>              the paper's fixed-parameter f1..f8, e.g. 8D-f7
-    <n>D-genz-<family>     a seeded Genz family member, e.g. 6D-genz-gaussian
+    <base>  := <n>D-<fk>              the paper's fixed-parameter f1..f8
+             | <n>D-genz-<family>     a seeded Genz family member
+
+    <spec>  := <base>
+             | semi_infinite(<base>[, scale=<v>])
+             | infinite(<base>[, scale=<v>])
+             | gaussian_measure(<base>[, mean=<v>][, sigma=<v>])
+
+    <v>     := <float>                scalar, broadcast over all axes
+             | [<float>,...]          per-axis vector (length = ndim)
+
+    <sweep> := sweep:<transform spec with exactly one parameter given
+               as a ';'-separated value list>, e.g.
+               sweep:semi_infinite(3D-f4, scale=0.5;1.0;2.0)
 
 Genz members drawn here always use the default seed, so a spec denotes
-*one* deterministic integrand — the property the cache relies on.
+*one* deterministic integrand — the property the cache relies on.  The
+canonical form of a transform spec is byte-stable: lower-case base,
+parameters in declaration order, floats rendered via ``repr(float(x))``
+(shortest round-trip form), per-axis vectors collapsed to a scalar when
+uniform, and parameters equal to their default omitted entirely.  Two
+spellings of the same integrand therefore fingerprint identically in
+``ResultCache``/``TieredResultCache``, and a worker process rebuilding
+the spec computes bit-identical values.
+
+Sweep specs are *plural*: :func:`expand_sweep` turns one into the list
+of canonical member specs, which callers fuse through
+``integrate_many``.  A sweep spec itself is not a job identity — each
+member fingerprints individually, so partial sweeps share cache entries
+with any other job naming the same member.
 """
 
 from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.integrands.base import Integrand
 from repro.integrands.genz import GenzFamily, make_genz
@@ -42,13 +71,22 @@ FACTORIES = {
     "f8": f8_box15,
 }
 
+#: transform families the spec grammar can name, with their keyword
+#: parameters in canonical order and per-parameter defaults
+TRANSFORM_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "semi_infinite": ("scale",),
+    "infinite": ("scale",),
+    "gaussian_measure": ("mean", "sigma"),
+}
+TRANSFORM_DEFAULTS: Dict[str, float] = {"scale": 1.0, "mean": 0.0, "sigma": 1.0}
 
-def canonical_spec(spec: str) -> str:
-    """Normalise a spec string to its canonical lower-case form.
+#: prefix marking a plural (sweep) spec — see :func:`expand_sweep`
+SWEEP_PREFIX = "sweep:"
 
-    Raises ``ValueError`` on anything :func:`named_integrand` would not
-    accept, so a canonical spec is always resolvable.
-    """
+ParamValue = Union[float, Tuple[float, ...]]
+
+
+def _canonical_base(spec: str) -> str:
     parts = spec.strip().lower().split("-")
     if len(parts) < 2 or not parts[0].endswith("d"):
         raise ValueError(f"cannot parse integrand spec {spec!r} (want e.g. '8D-f7')")
@@ -67,21 +105,296 @@ def canonical_spec(spec: str) -> str:
     return f"{ndim}d-{key}"
 
 
+def _base_ndim(canonical_base: str) -> int:
+    return int(canonical_base.split("-", 1)[0][:-1])
+
+
+def _split_top_level(text: str, sep: str) -> List[str]:
+    """Split on ``sep`` outside ``[...]`` brackets (param lists hold commas)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced ']' in spec fragment {text!r}")
+        if ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ValueError(f"unbalanced '[' in spec fragment {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_number(text: str, spec: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"cannot parse number {text!r} in spec {spec!r}") from None
+    if not np.isfinite(value):
+        raise ValueError(f"non-finite parameter value {text!r} in spec {spec!r}")
+    return value
+
+
+def _parse_value(text: str, spec: str) -> ParamValue:
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            raise ValueError(f"empty parameter list in spec {spec!r}")
+        return tuple(_parse_number(p.strip(), spec) for p in inner.split(","))
+    return _parse_number(text, spec)
+
+
+def _normalise_value(name: str, value: ParamValue, ndim: int, spec: str) -> ParamValue:
+    """Collapse uniform vectors to scalars; validate lengths and signs."""
+    if isinstance(value, tuple):
+        if len(value) != ndim:
+            raise ValueError(
+                f"parameter {name}=... in spec {spec!r} has {len(value)} entries, "
+                f"want {ndim} (one per axis) or a scalar"
+            )
+        if all(v == value[0] for v in value):
+            value = value[0]
+    positive = name in ("scale", "sigma")
+    values = value if isinstance(value, tuple) else (value,)
+    if positive and any(v <= 0.0 for v in values):
+        raise ValueError(f"parameter {name} must be positive in spec {spec!r}")
+    return value
+
+
+def _format_value(value: ParamValue) -> str:
+    if isinstance(value, tuple):
+        return "[" + ",".join(repr(float(v)) for v in value) + "]"
+    return repr(float(value))
+
+
+class ParsedTransform:
+    """A transform spec decomposed into (family, base, params)."""
+
+    __slots__ = ("family", "base", "params")
+
+    def __init__(self, family: str, base: str, params: Dict[str, ParamValue]):
+        self.family = family
+        self.base = base
+        self.params = params
+
+    @property
+    def ndim(self) -> int:
+        return _base_ndim(self.base)
+
+    def canonical(self) -> str:
+        parts = [self.base]
+        for name in TRANSFORM_PARAMS[self.family]:
+            if name in self.params:
+                parts.append(f"{name}={_format_value(self.params[name])}")
+        return f"{self.family}({', '.join(parts)})"
+
+
+def parse_transform_spec(spec: str) -> Optional[ParsedTransform]:
+    """Parse ``family(base, k=v, ...)``; ``None`` when ``spec`` has no call form.
+
+    Parameters equal to their defaults are dropped and uniform per-axis
+    vectors collapse to scalars, so :meth:`ParsedTransform.canonical` is
+    the unique byte-stable spelling of the transformed integrand.
+    """
+    text = spec.strip()
+    paren = text.find("(")
+    if paren < 0:
+        return None
+    family = text[:paren].strip().lower()
+    if family not in TRANSFORM_PARAMS:
+        raise ValueError(
+            f"unknown transform {family!r} in spec {spec!r}; "
+            f"options: {sorted(TRANSFORM_PARAMS)}"
+        )
+    if not text.endswith(")"):
+        raise ValueError(f"transform spec {spec!r} must end with ')'")
+    inner = text[paren + 1 : -1]
+    fields = [p.strip() for p in _split_top_level(inner, ",")]
+    if not fields or not fields[0]:
+        raise ValueError(f"transform spec {spec!r} needs a base integrand argument")
+    if "=" in fields[0]:
+        raise ValueError(f"first argument of {spec!r} must be the base integrand spec")
+    base = _canonical_base(fields[0])
+    ndim = _base_ndim(base)
+    allowed = TRANSFORM_PARAMS[family]
+    params: Dict[str, ParamValue] = {}
+    for field in fields[1:]:
+        if "=" not in field:
+            raise ValueError(f"expected '<name>=<value>' got {field!r} in spec {spec!r}")
+        name, _, raw = field.partition("=")
+        name = name.strip().lower()
+        if name not in allowed:
+            raise ValueError(
+                f"transform {family!r} takes parameters {allowed}, got {name!r}"
+            )
+        if name in params:
+            raise ValueError(f"duplicate parameter {name!r} in spec {spec!r}")
+        value = _normalise_value(name, _parse_value(raw, spec), ndim, spec)
+        if not isinstance(value, tuple) and value == TRANSFORM_DEFAULTS[name]:
+            continue  # default-valued scalars vanish from the canonical form
+        params[name] = value
+    return ParsedTransform(family, base, params)
+
+
+def canonical_spec(spec: str) -> str:
+    """Normalise a spec string to its canonical byte-stable form.
+
+    Raises ``ValueError`` on anything :func:`named_integrand` would not
+    accept, so a canonical spec is always resolvable.  Sweep specs are
+    plural and rejected here — expand them with :func:`expand_sweep`.
+    """
+    if is_sweep_spec(spec):
+        raise ValueError(
+            f"{spec!r} is a sweep spec (N member jobs); expand it with "
+            "expand_sweep() and submit the members individually"
+        )
+    parsed = parse_transform_spec(spec)
+    if parsed is not None:
+        return parsed.canonical()
+    return _canonical_base(spec)
+
+
+def _build_transform(parsed: ParsedTransform) -> Integrand:
+    # local import: transforms lazily formats specs through this module
+    from repro.integrands import transforms
+
+    base = named_integrand(parsed.base)
+    ndim = parsed.ndim
+    if parsed.family == "semi_infinite":
+        integrand = transforms.semi_infinite(
+            base, ndim, scale=parsed.params.get("scale", TRANSFORM_DEFAULTS["scale"])
+        )
+    elif parsed.family == "infinite":
+        integrand = transforms.infinite(
+            base, ndim, scale=parsed.params.get("scale", TRANSFORM_DEFAULTS["scale"])
+        )
+    else:
+        mean = parsed.params.get("mean", TRANSFORM_DEFAULTS["mean"])
+        sigma = parsed.params.get("sigma", TRANSFORM_DEFAULTS["sigma"])
+        mu = np.broadcast_to(np.asarray(mean, dtype=np.float64), (ndim,)).copy()
+        sig = np.broadcast_to(np.asarray(sigma, dtype=np.float64), (ndim,)).copy()
+        integrand = transforms.gaussian_measure(base, ndim, mean=mu, chol=np.diag(sig))
+    return integrand
+
+
 def named_integrand(spec: str) -> Integrand:
-    """Resolve names like ``8D-f7``, ``5D-f4`` or ``6D-genz-gaussian``.
+    """Resolve names like ``8D-f7`` or ``semi_infinite(3D-f4, scale=2.0)``.
 
     The returned :class:`~repro.integrands.base.Integrand` carries the
     canonical spec in its ``spec`` attribute — the stable identity the
     result cache fingerprints and the process backend ships to worker
     processes (a spec denotes *one* deterministic integrand, so a worker
-    rebuilding it computes identical bits).
+    rebuilding it computes identical bits).  Transform specs resolve the
+    base integrand first, then wrap it with the named transform; their
+    ``reference`` is ``None`` because the base's unit-cube reference does
+    not survive a change of domain.
     """
     canonical = canonical_spec(spec)
-    parts = canonical.split("-")
-    ndim = int(parts[0][:-1])
-    if parts[1] == "genz":
-        integrand = make_genz(GenzFamily(parts[2]), ndim)
+    parsed = parse_transform_spec(canonical)
+    if parsed is not None:
+        integrand = _build_transform(parsed)
     else:
-        integrand = FACTORIES[parts[1]](ndim)
+        parts = canonical.split("-")
+        ndim = int(parts[0][:-1])
+        if parts[1] == "genz":
+            integrand = make_genz(GenzFamily(parts[2]), ndim)
+        else:
+            integrand = FACTORIES[parts[1]](ndim)
     integrand.spec = canonical
     return integrand
+
+
+def is_sweep_spec(spec: str) -> bool:
+    """True when ``spec`` is plural — a ``sweep:`` template naming N jobs."""
+    return spec.strip().lower().startswith(SWEEP_PREFIX)
+
+
+def expand_sweep(spec: str) -> List[str]:
+    """Expand ``sweep:family(base, p=v1;v2;...)`` into canonical member specs.
+
+    Exactly one parameter must carry a ``;``-separated value list; every
+    other parameter is held fixed across the members.  The members are
+    ordinary transform specs — each resolvable by :func:`named_integrand`,
+    each with its own cache fingerprint — which callers fuse through
+    ``integrate_many`` for batched execution.
+    """
+    text = spec.strip()
+    if not is_sweep_spec(text):
+        raise ValueError(f"not a sweep spec (want '{SWEEP_PREFIX}...'): {spec!r}")
+    template = text[len(SWEEP_PREFIX) :].strip()
+    paren = template.find("(")
+    if paren < 0 or not template.endswith(")"):
+        raise ValueError(
+            f"sweep template must be a transform spec, got {template!r} "
+            "(e.g. 'sweep:semi_infinite(3D-f4, scale=0.5;1.0;2.0)')"
+        )
+    family = template[:paren].strip().lower()
+    if family not in TRANSFORM_PARAMS:
+        raise ValueError(
+            f"unknown transform {family!r} in sweep {spec!r}; "
+            f"options: {sorted(TRANSFORM_PARAMS)}"
+        )
+    fields = [p.strip() for p in _split_top_level(template[paren + 1 : -1], ",")]
+    swept: Optional[Tuple[str, List[str]]] = None
+    fixed: List[str] = []
+    for field in fields:
+        if "=" in field:
+            name, _, raw = field.partition("=")
+            values = [v.strip() for v in _split_top_level(raw.strip(), ";")]
+            if len(values) > 1:
+                if swept is not None:
+                    raise ValueError(
+                        f"sweep {spec!r} sweeps both {swept[0]!r} and "
+                        f"{name.strip()!r}; exactly one parameter may vary"
+                    )
+                swept = (name.strip(), values)
+                continue
+        fixed.append(field)
+    if swept is None:
+        raise ValueError(
+            f"sweep {spec!r} has no swept parameter "
+            "(give one as '<name>=v1;v2;...')"
+        )
+    name, values = swept
+    members = []
+    for value in values:
+        args = ", ".join(fixed + [f"{name}={value}"])
+        members.append(canonical_spec(f"{family}({args})"))
+    if len(set(members)) != len(members):
+        raise ValueError(f"sweep {spec!r} repeats a member after canonicalisation")
+    return members
+
+
+def canonical_sweep_spec(spec: str) -> str:
+    """The byte-stable spelling of a sweep spec (members canonicalised)."""
+    members = expand_sweep(spec)
+    # Re-derive the varying parameter by diffing the canonical members.
+    parsed = [parse_transform_spec(m) for m in members]
+    family = parsed[0].family
+    swept_names = set()
+    for name in TRANSFORM_PARAMS[family]:
+        values = [p.params.get(name) for p in parsed]
+        if any(v != values[0] for v in values):
+            swept_names.add(name)
+    if len(swept_names) != 1:
+        raise ValueError(f"sweep {spec!r} does not vary exactly one parameter")
+    swept_name = swept_names.pop()
+    joined = ";".join(
+        _format_value(p.params.get(swept_name, TRANSFORM_DEFAULTS[swept_name]))
+        for p in parsed
+    )
+    parts = [parsed[0].base]
+    for name in TRANSFORM_PARAMS[family]:
+        if name == swept_name:
+            parts.append(f"{name}={joined}")
+        elif name in parsed[0].params:
+            parts.append(f"{name}={_format_value(parsed[0].params[name])}")
+    return f"{SWEEP_PREFIX}{family}({', '.join(parts)})"

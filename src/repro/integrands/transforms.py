@@ -14,12 +14,19 @@ folded in, so every integrator in the package applies unchanged:
 
 Each transform returns an :class:`~repro.integrands.base.Integrand` whose
 metadata carries the extra per-point flop cost so the device model stays
-honest.
+honest.  When the wrapped integrand is itself a catalogue member (carries
+a ``spec``) and the transform parameters are expressible in the spec
+grammar, the result carries the canonical transform spec too — making it
+cacheable in ``ResultCache``/``TieredResultCache`` and shippable to
+process-backend workers exactly like a plain catalogue integrand.  A
+transformed integrand's ``reference`` is ``None`` unless the caller
+supplies one: the base's unit-cube reference does not survive a change
+of domain.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 from scipy.special import ndtri
@@ -29,6 +36,8 @@ from repro.integrands.base import Integrand
 #: clip points one ulp inside the open cube before singular maps
 _EPS = 1e-15
 
+ParamLike = Union[float, Sequence[float], np.ndarray]
+
 
 def _as_integrand(f, ndim: int) -> Integrand:
     if isinstance(f, Integrand):
@@ -36,10 +45,40 @@ def _as_integrand(f, ndim: int) -> Integrand:
     return Integrand(fn=f, ndim=ndim)
 
 
+def _transform_spec(
+    family: str, base: Integrand, params: Dict[str, ParamLike]
+) -> Optional[str]:
+    """The canonical spec of the transformed integrand, or ``None``.
+
+    ``None`` when the base is an anonymous closure (no ``spec``) or the
+    parameters fall outside the grammar (e.g. a non-diagonal Cholesky
+    factor) — such integrands still work everywhere, but execute
+    in-process and uncached.
+    """
+    if base.spec is None:
+        return None
+    from repro.integrands.catalog import canonical_spec  # lazy: avoid cycle
+
+    args = [base.spec]
+    for name, value in params.items():
+        arr = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        rendered = (
+            repr(float(arr[0]))
+            if arr.size == 1
+            else "[" + ",".join(repr(float(v)) for v in arr) + "]"
+        )
+        args.append(f"{name}={rendered}")
+    try:
+        return canonical_spec(f"{family}({', '.join(args)})")
+    except ValueError:
+        return None
+
+
 def semi_infinite(
     f: Callable[[np.ndarray], np.ndarray],
     ndim: int,
     scale: float | Sequence[float] = 1.0,
+    reference: Optional[float] = None,
 ) -> Integrand:
     """Map ``∫_{[0,∞)^n} f`` onto the unit cube with ``x = s·t/(1−t)``.
 
@@ -62,9 +101,10 @@ def semi_infinite(
         fn=fn,
         ndim=ndim,
         name=f"semi_infinite({base.name})" if base.name else "semi_infinite",
-        reference=base.reference,
+        reference=reference,
         flops_per_eval=base.flops_per_eval + 6.0 * ndim,
         sign_definite=base.sign_definite,
+        spec=_transform_spec("semi_infinite", base, {"scale": s}),
     )
 
 
@@ -72,6 +112,7 @@ def infinite(
     f: Callable[[np.ndarray], np.ndarray],
     ndim: int,
     scale: float | Sequence[float] = 1.0,
+    reference: Optional[float] = None,
 ) -> Integrand:
     """Map ``∫_{R^n} f`` onto the unit cube with ``x = s·(2t−1)/(t(1−t))``.
 
@@ -96,9 +137,10 @@ def infinite(
         fn=fn,
         ndim=ndim,
         name=f"infinite({base.name})" if base.name else "infinite",
-        reference=base.reference,
+        reference=reference,
         flops_per_eval=base.flops_per_eval + 10.0 * ndim,
         sign_definite=base.sign_definite,
+        spec=_transform_spec("infinite", base, {"scale": s}),
     )
 
 
@@ -107,6 +149,7 @@ def gaussian_measure(
     ndim: int,
     mean: Optional[Sequence[float]] = None,
     chol: Optional[np.ndarray] = None,
+    reference: Optional[float] = None,
 ) -> Integrand:
     """Expectation against ``N(mean, L Lᵀ)`` as a unit-cube integral.
 
@@ -128,11 +171,23 @@ def gaussian_measure(
         z = ndtri(np.clip(u, _EPS, 1.0 - _EPS))
         return base.fn(mu[None, :] + z @ L.T)
 
+    # only diagonal covariances are expressible in the spec grammar
+    spec_params: Optional[Dict[str, ParamLike]] = {"mean": mu}
+    if np.count_nonzero(L - np.diag(np.diagonal(L))) == 0:
+        spec_params["sigma"] = np.diagonal(L)
+    else:
+        spec_params = None
+
     return Integrand(
         fn=fn,
         ndim=ndim,
         name=f"gaussian_measure({base.name})" if base.name else "gaussian_measure",
-        reference=base.reference,
+        reference=reference,
         flops_per_eval=base.flops_per_eval + 2.0 * ndim * ndim + 30.0 * ndim,
         sign_definite=base.sign_definite,
+        spec=(
+            _transform_spec("gaussian_measure", base, spec_params)
+            if spec_params is not None
+            else None
+        ),
     )

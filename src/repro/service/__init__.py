@@ -54,6 +54,7 @@ the layer sits, and ``pagani-repro serve`` /
 
 from repro.service.aio import AsyncIntegrationService, handle_as_future
 from repro.service.cache import ResultCache, job_fingerprint
+from repro.service.escalation import EscalationPolicy
 from repro.service.jobs import (
     JobFailedError,
     JobHandle,
@@ -77,6 +78,7 @@ __all__ = [
     "JobStatus",
     "JobFailedError",
     "ResultCache",
+    "EscalationPolicy",
     "job_fingerprint",
     "handle_as_future",
     "DurableResultStore",

@@ -49,8 +49,17 @@ def job_fingerprint(
     max_iterations: Optional[int],
     relerr_filtering: bool,
     collect_traces: bool = False,
+    escalation: Optional[str] = None,
 ) -> str:
-    """SHA-256 over the canonical job payload (see module docstring)."""
+    """SHA-256 over the canonical job payload (see module docstring).
+
+    ``escalation`` is the effective policy descriptor when baseline
+    escalation is armed for the job (``None`` = off).  An armed policy
+    can change the numbers (a failed PAGANI run is re-run down the
+    ladder), so it must change the fingerprint: escalated and native
+    results never alias.  The key is *omitted* when off, keeping every
+    pre-escalation fingerprint byte-stable.
+    """
     payload = {
         "schema": FINGERPRINT_SCHEMA,
         "integrand": integrand_id,
@@ -70,6 +79,8 @@ def job_fingerprint(
         # a trace-free service (or vice versa).
         "collect_traces": bool(collect_traces),
     }
+    if escalation is not None:
+        payload["escalation"] = str(escalation)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("ascii")).hexdigest()
 

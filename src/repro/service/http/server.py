@@ -68,6 +68,7 @@ def _job_status_payload(job_id: int, handle: JobHandle) -> dict:
         "label": handle.spec.label,
         "priority": stats.priority,
         "cache_hit": stats.cache_hit,
+        "escalated": stats.escalated,
         "fingerprint": stats.fingerprint,
         "queue_seconds": stats.queue_seconds,
         "total_seconds": stats.total_seconds,
@@ -77,7 +78,7 @@ def _job_status_payload(job_id: int, handle: JobHandle) -> dict:
 def _result_payload(job_id: int, handle: JobHandle) -> dict:
     result = handle.result(timeout=0)
     hex_payload = result_to_payload(result)
-    return {
+    payload = {
         "job_id": job_id,
         "status": handle.status.value,
         "cache_hit": handle.stats.cache_hit,
@@ -93,6 +94,21 @@ def _result_payload(job_id: int, handle: JobHandle) -> dict:
         },
         "result_hex": hex_payload,
     }
+    if result.escalation is not None:
+        # honest provenance over the wire: every stage the ladder ran,
+        # PAGANI first (the exact floats live in result_hex["escalation"])
+        payload["escalation"] = [
+            {
+                "method": stage.method,
+                "status": stage.status.value,
+                "estimate": stage.estimate,
+                "errorest": stage.errorest,
+                "neval": stage.neval,
+                "error": stage.error,
+            }
+            for stage in result.escalation
+        ]
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):

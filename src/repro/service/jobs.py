@@ -75,6 +75,15 @@ class JobSpec:
     ``"auto"`` asks for routing explicitly, ``None`` (default) defers to
     the service.  The cache fingerprint records the backend the job
     actually ran on, so overrides cannot alias cache entries.
+
+    ``escalation`` is the per-job baseline-escalation override: ``None``
+    (default) inherits the service's policy, ``"off"``/``False``
+    disables escalation for this job, and ``True``/``"default"``/a
+    ladder descriptor like ``"two_phase>vegas>qmc;watchdog=8"`` enables
+    it (see :class:`repro.service.escalation.EscalationPolicy`).  The
+    value is canonicalised to the policy descriptor at construction;
+    the effective policy's descriptor enters the cache fingerprint, so
+    escalated and native results never alias.
     """
 
     integrand: Union[str, Callable[[np.ndarray], np.ndarray]]
@@ -87,11 +96,26 @@ class JobSpec:
     max_iterations: Optional[int] = None
     relerr_filtering: Optional[bool] = None
     backend: Optional[str] = None
+    escalation: Union[None, bool, str] = None
 
     _FIELDS = (
         "integrand", "ndim", "bounds", "rel_tol", "abs_tol", "priority",
         "label", "max_iterations", "relerr_filtering", "backend",
+        "escalation",
     )
+
+    def __post_init__(self) -> None:
+        # Canonicalise the escalation override: None stays None
+        # (inherit), everything else becomes "off" or the policy's
+        # canonical descriptor — value semantics for coalescing and
+        # fingerprints.  Malformed values raise here, at construction.
+        if self.escalation is not None:
+            from repro.service.escalation import EscalationPolicy
+
+            policy = EscalationPolicy.parse(self.escalation)
+            object.__setattr__(
+                self, "escalation", policy.describe() if policy else "off"
+            )
 
     def validate(self) -> None:
         if not (isinstance(self.priority, int) and self.priority >= 1):
@@ -193,6 +217,9 @@ class JobSpec:
             max_iterations=request.max_iterations,
             relerr_filtering=request.relerr_filtering,
             backend=backend,
+            # a request is explicit: no escalation means "off", not
+            # "inherit the service default"
+            escalation=request.escalation if request.escalation else "off",
         )
         spec.validate()
         return spec
@@ -213,6 +240,11 @@ class JobSpec:
             backend=self.backend,
             max_iterations=self.max_iterations,
             relerr_filtering=self.relerr_filtering,
+            escalation=(
+                self.escalation
+                if self.escalation not in (None, "off")
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -297,6 +329,8 @@ class JobStats:
     completion_index: Optional[int] = None
     #: cache fingerprint (None for uncacheable callables / cache off)
     fingerprint: Optional[str] = None
+    #: the job's PAGANI run failed and a baseline escalation ladder ran
+    escalated: bool = False
 
     @property
     def queue_seconds(self) -> Optional[float]:

@@ -56,6 +56,7 @@ from repro.batch import BatchMemberError, BatchScheduler
 from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.errors import ConfigurationError
 from repro.service.cache import ResultCache, job_fingerprint
+from repro.service.escalation import EscalationPolicy
 from repro.service.jobs import (
     JobHandle,
     JobSpec,
@@ -226,6 +227,19 @@ class IntegrationService:
         long-running services should set a bound so memory does not
         grow with total jobs served.  :meth:`stats` counts pruned jobs
         via lifetime counters either way.
+    escalation:
+        Service-default baseline-escalation policy — anything
+        :meth:`~repro.service.escalation.EscalationPolicy.parse`
+        accepts (``None`` = off, ``True``/``"default"``, a ladder
+        descriptor, or a policy instance).  When a job's PAGANI run
+        ends in ``MEMORY_EXHAUSTED`` (or trips the iteration watchdog)
+        the worker re-runs it down the baseline ladder and resolves the
+        handle with the escalated result — full per-stage history in
+        ``result.escalation``, never relabeled as a converged PAGANI
+        run.  Per-job ``JobSpec.escalation`` overrides the default
+        (``"off"`` disables).  The effective policy descriptor enters
+        the job's cache fingerprint, so escalated and native results
+        never alias.
 
     Usage::
 
@@ -246,9 +260,11 @@ class IntegrationService:
         history_limit: Optional[int] = None,
         shards: int = 1,
         routing_autotune: bool = True,
+        escalation=None,
     ):
         if max_concurrent < 1:
             raise ConfigurationError("max_concurrent must be >= 1")
+        self.escalation = EscalationPolicy.parse(escalation)
         if shards < 1:
             raise ConfigurationError("shards must be >= 1")
         if history_limit is not None and history_limit < 0:
@@ -300,6 +316,7 @@ class IntegrationService:
         self._inflight: Dict[str, Tuple[_Shard, int]] = {}
         self._rounds = 0
         self._coalesced = 0
+        self._escalations = 0
         self._completion_counter = 0
 
         self._handles: List[JobHandle] = []
@@ -337,12 +354,15 @@ class IntegrationService:
         max_iterations: Optional[int] = None,
         relerr_filtering: Optional[bool] = None,
         backend: Optional[str] = None,
+        escalation=None,
     ) -> JobHandle:
         """Enqueue one job; returns its future-like :class:`JobHandle`.
 
         ``backend`` is the per-job override spec (see
         :class:`~repro.service.jobs.JobSpec`); ``None`` defers to the
-        service's backend or routing policy.
+        service's backend or routing policy.  ``escalation`` likewise
+        overrides the service's escalation policy for this job
+        (``None`` inherits, ``"off"`` disables).
         """
         return self.submit_spec(
             JobSpec(
@@ -350,6 +370,7 @@ class IntegrationService:
                 rel_tol=rel_tol, abs_tol=abs_tol, priority=priority,
                 label=label, max_iterations=max_iterations,
                 relerr_filtering=relerr_filtering, backend=backend,
+                escalation=escalation,
             )
         )
 
@@ -410,6 +431,7 @@ class IntegrationService:
             handles = list(self._handles)
             rounds = self._rounds
             coalesced = self._coalesced
+            escalations = self._escalations
             queued = len(self._queue)
             inflight = len(self._inflight)
             per_shard = [
@@ -438,6 +460,12 @@ class IntegrationService:
             "inflight": inflight,
             "rounds": rounds,
             "coalesced": coalesced,
+            "escalations": escalations,
+            "escalation": (
+                self.escalation.describe()
+                if self.escalation is not None
+                else None
+            ),
             "max_concurrent": self.max_concurrent,
             "backend": "auto" if self._router is not None else self.backend.name,
             "routing": (
@@ -552,6 +580,14 @@ class IntegrationService:
                 handle._complete(JobStatus.FAILED, exception=exc)
 
     # ------------------------------------------------------------------
+    def _job_policy(self, spec: JobSpec) -> Optional[EscalationPolicy]:
+        """The effective escalation policy for a job (``None`` = off)."""
+        if spec.escalation is None:
+            return self.escalation
+        if spec.escalation == "off":
+            return None
+        return EscalationPolicy.parse(spec.escalation)
+
     def _job_backend(
         self, shard: _Shard, spec: JobSpec, resolved: ResolvedJob
     ) -> Tuple[ArrayBackend, int]:
@@ -601,6 +637,7 @@ class IntegrationService:
                 run_backend, chunk_budget = self._job_backend(
                     shard, spec, resolved
                 )
+                policy = self._job_policy(spec)
             except Exception as exc:
                 self._finish(handle, JobStatus.FAILED, exception=exc)
                 continue
@@ -609,7 +646,9 @@ class IntegrationService:
             if self.cache is not None and resolved.cache_id is not None:
                 # The *resolved* backend (and its grain) is hashed, never
                 # the "auto" policy: cache identity must describe the
-                # bits, and two routers may decide differently.
+                # bits, and two routers may decide differently.  The
+                # effective escalation descriptor is hashed for the same
+                # reason: an armed ladder can change the numbers.
                 fingerprint = job_fingerprint(
                     integrand_id=resolved.cache_id,
                     ndim=resolved.ndim,
@@ -621,6 +660,9 @@ class IntegrationService:
                     max_iterations=spec.max_iterations,
                     relerr_filtering=resolved.relerr_filtering,
                     collect_traces=self.collect_traces,
+                    escalation=(
+                        policy.describe() if policy is not None else None
+                    ),
                 )
                 handle.stats.fingerprint = fingerprint
                 cached = self.cache.get(fingerprint)
@@ -656,6 +698,12 @@ class IntegrationService:
             cfg = spec.to_request().to_pagani_config(
                 resolved.fn, backend=run_backend, chunk_budget=chunk_budget
             )
+            if policy is not None and spec.max_iterations is None:
+                # the stall watchdog: bound the PAGANI attempt so a
+                # non-converging run reaches the ladder promptly
+                cfg.max_iterations = min(
+                    cfg.max_iterations, policy.watchdog_iterations
+                )
             try:
                 run = PaganiIntegrator(cfg).start_run(
                     resolved.fn, resolved.ndim, bounds=resolved.bounds,
@@ -809,9 +857,36 @@ class IntegrationService:
             )
         if resolved.reference is not None:
             result.true_value = resolved.reference
+        handle_peek = shard.members[index]
+        policy = self._job_policy(handle_peek.spec)
+        escalation_cancelled = False
+        if policy is not None and policy.should_escalate(result):
+            # Re-run down the baseline ladder on this worker thread (a
+            # recovery path — blocking the rotation briefly is the
+            # honest price of not returning a failed result).  The
+            # cancel check stops the ladder between stages; a ladder
+            # stopped that way yields a *partial* outcome, which must
+            # not enter the cache or resolve coalesced followers.
+            result = policy.apply(
+                resolved.fn,
+                resolved.ndim,
+                handle_peek.spec.to_request(),
+                result,
+                bounds=resolved.bounds,
+                cancel_check=lambda: handle_peek.cancel_requested,
+            )
+            if resolved.reference is not None:
+                result.true_value = resolved.reference
+            escalation_cancelled = handle_peek.cancel_requested
+            with self._cond:
+                self._escalations += 1
         with self._cond:
             fingerprint = shard.member_fp.pop(index, None)
-            if fingerprint is not None and self.cache is not None:
+            if (
+                fingerprint is not None
+                and self.cache is not None
+                and not escalation_cancelled
+            ):
                 self.cache.put(fingerprint, result)
             handle = shard.members.pop(index)
             followers = shard.followers.pop(index)
@@ -821,8 +896,28 @@ class IntegrationService:
                 and self._inflight.get(fingerprint) == (shard, index)
             ):
                 self._inflight.pop(fingerprint)
+        if escalation_cancelled:
+            handle._complete(JobStatus.CANCELLED, exception=CancelledError())
+            # Followers wanted the full ladder outcome, not the partial
+            # one a cancelled ladder produced: back to the queue, same
+            # as followers of a cancelled run.
+            requeued = False
+            for follower in followers:
+                if follower._back_to_queue():
+                    follower.stats.cache_hit = False
+                    follower.stats.coalesced_with = None
+                    self._queue.push(follower)
+                    requeued = True
+            if requeued:
+                with self._cond:
+                    self._cond.notify_all()
+            return
+        if result.escalated:
+            handle.stats.escalated = True
         self._finish(handle, JobStatus.DONE, result=result)
         for follower in followers:
+            if result.escalated:
+                follower.stats.escalated = True
             self._finish(
                 follower, JobStatus.DONE, result=copy.deepcopy(result)
             )

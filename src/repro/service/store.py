@@ -48,7 +48,12 @@ from dataclasses import fields as dataclass_fields
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.core.result import IntegrationResult, IterationRecord, Status
+from repro.core.result import (
+    EscalationStage,
+    IntegrationResult,
+    IterationRecord,
+    Status,
+)
 from repro.service.cache import ResultCache
 
 #: bump when the serialised result payload layout changes; rows written
@@ -101,6 +106,24 @@ def result_to_payload(result: IntegrationResult) -> dict:
         payload[name] = _hex(getattr(result, name))
     for name in _INT_FIELDS:
         payload[name] = int(getattr(result, name))
+    # Escalation provenance travels with the result (the honesty
+    # contract: a replayed escalated result must still say so).  The key
+    # is omitted for native results, keeping their payloads byte-stable
+    # across this addition.
+    if result.escalation is not None:
+        payload["escalation"] = [
+            {
+                "method": stage.method,
+                "status": stage.status.value,
+                "estimate": _hex(stage.estimate),
+                "errorest": _hex(stage.errorest),
+                "neval": int(stage.neval),
+                "iterations": int(stage.iterations),
+                "wall_seconds": _hex(stage.wall_seconds),
+                "error": stage.error,
+            }
+            for stage in result.escalation
+        ]
     return payload
 
 
@@ -145,6 +168,23 @@ def result_from_payload(payload: dict) -> IntegrationResult:
             true_value=(
                 None if payload["true_value"] is None
                 else _unhex(payload["true_value"])
+            ),
+            escalation=(
+                None
+                if "escalation" not in payload
+                else [
+                    EscalationStage(
+                        method=str(stage["method"]),
+                        status=Status(stage["status"]),
+                        estimate=_unhex(stage["estimate"]),
+                        errorest=_unhex(stage["errorest"]),
+                        neval=int(stage["neval"]),
+                        iterations=int(stage["iterations"]),
+                        wall_seconds=_unhex(stage["wall_seconds"]),
+                        error=stage["error"],
+                    )
+                    for stage in payload["escalation"]
+                ]
             ),
         )
     except StorePayloadError:
@@ -391,6 +431,21 @@ assert _TRACE_FIELDS == {
     "n_finished_threshold", "estimate", "errorest", "finished_estimate",
     "finished_errorest", "neval", "sim_seconds",
 }, _TRACE_FIELDS
+
+# Same guard for the escalation stage rows and the result itself: a new
+# field on either must show up here (and in the serializer) or the
+# durable tier would silently drop it.
+_STAGE_FIELDS = {f.name for f in dataclass_fields(EscalationStage)}
+assert _STAGE_FIELDS == {
+    "method", "status", "estimate", "errorest", "neval", "iterations",
+    "wall_seconds", "error",
+}, _STAGE_FIELDS
+_RESULT_FIELDS = {f.name for f in dataclass_fields(IntegrationResult)}
+assert _RESULT_FIELDS == {
+    "estimate", "errorest", "status", "neval", "nregions", "iterations",
+    "method", "sim_seconds", "wall_seconds", "trace", "true_value",
+    "escalation",
+}, _RESULT_FIELDS
 
 __all__ = [
     "DurableResultStore",

@@ -26,6 +26,7 @@ from repro.core.pagani import PaganiConfig, PaganiIntegrator
 from repro.cubature.evaluation import evaluate_regions
 from repro.cubature.rules import get_rule
 from repro.errors import ConfigurationError
+from repro.integrands.catalog import named_integrand
 from repro.integrands.genz import GenzFamily, make_genz
 
 #: every backend we try; unavailable ones skip rather than fail
@@ -228,6 +229,32 @@ def test_pagani_genz_agreement_with_numpy(spec, family, ndim):
     assert got.status == ref.status
     # both land on the true value within tolerance
     assert abs(got.estimate - f.reference) <= 3e-4 * abs(f.reference)
+
+
+# One spec per transform family: the canonical spec must make each
+# transformed integrand process-shippable *and* bit-identical across the
+# host backends, exactly like a plain catalogue integrand.
+TRANSFORM_SPECS = [
+    "semi_infinite(3D-f4, scale=2.0)",
+    "infinite(2D-genz-gaussian, scale=1.5)",
+    "gaussian_measure(2D-f4, mean=0.5, sigma=0.8)",
+]
+
+
+@pytest.mark.parametrize("spec", sorted(EXACT_SPECS - {"numpy"}))
+@pytest.mark.parametrize("tspec", TRANSFORM_SPECS)
+def test_pagani_transform_agreement_with_numpy(spec, tspec):
+    _backend_or_skip(spec)
+    results = {}
+    for bk in ("numpy", spec):
+        f = named_integrand(tspec)
+        cfg = PaganiConfig(rel_tol=1e-4, max_iterations=12, backend=bk)
+        results[bk] = PaganiIntegrator(cfg).integrate(f, f.ndim)
+    ref, got = results["numpy"], results[spec]
+    assert got.estimate == ref.estimate
+    assert got.errorest == ref.errorest
+    assert got.neval == ref.neval
+    assert got.status == ref.status
 
 
 def test_api_backend_keyword_roundtrip(gaussian3):

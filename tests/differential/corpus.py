@@ -1,0 +1,93 @@
+"""The shared differential-testing corpus.
+
+Each entry is one integration problem with an analytically known value:
+finite-box catalogue members plus one problem per domain transform
+(semi-infinite, infinite, Gaussian measure).  Every integrator in the
+package — PAGANI and all four baselines — must be able to run every
+entry, because the transforms fold their domains onto the unit cube.
+
+Kept separate from the test module so other suites (benchmarks, golden
+regeneration) can import the same problems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.integrands.base import Integrand
+from repro.integrands.catalog import named_integrand
+from repro.integrands.transforms import (
+    gaussian_measure,
+    infinite,
+    semi_infinite,
+)
+
+
+def _exp_decay(x: np.ndarray) -> np.ndarray:
+    """prod exp(-x_i) over [0, inf)^n: integral = 1."""
+    return np.exp(-np.sum(x, axis=1))
+
+
+def _gauss_full_line(x: np.ndarray) -> np.ndarray:
+    """prod exp(-x_i^2) over R^n: integral = pi^(n/2)."""
+    return np.exp(-np.sum(x * x, axis=1))
+
+
+def _prod_cos(x: np.ndarray) -> np.ndarray:
+    """prod cos(x_i); E under N(0, s^2 I) is exp(-n s^2 / 2)."""
+    return np.prod(np.cos(x), axis=1)
+
+
+@dataclass(frozen=True)
+class Problem:
+    name: str
+    build: Callable[[], Integrand]
+    ndim: int
+    truth: float
+
+
+def _semi_infinite_exp() -> Integrand:
+    return semi_infinite(_exp_decay, 3, scale=1.0, reference=1.0)
+
+
+def _infinite_gaussian() -> Integrand:
+    return infinite(_gauss_full_line, 2, scale=1.0, reference=math.pi)
+
+
+def _gaussian_measure_cos() -> Integrand:
+    s = 0.7
+    truth = math.exp(-2 * s * s / 2.0)
+    return gaussian_measure(
+        _prod_cos, 2, chol=np.diag([s, s]), reference=truth
+    )
+
+
+def _catalogue(spec: str) -> Callable[[], Integrand]:
+    return lambda: named_integrand(spec)
+
+
+#: the corpus every integrator must pass.  Finite-box members use the
+#: catalogue's analytic references; transform members carry closed-form
+#: truths supplied above.
+PROBLEMS = [
+    Problem("3D-f4", _catalogue("3D-f4"), 3, named_integrand("3D-f4").reference),
+    Problem("2D-f2", _catalogue("2D-f2"), 2, named_integrand("2D-f2").reference),
+    Problem(
+        "3D-genz-gaussian",
+        _catalogue("3D-genz-gaussian"),
+        3,
+        named_integrand("3D-genz-gaussian").reference,
+    ),
+    Problem("semi_infinite-exp", _semi_infinite_exp, 3, 1.0),
+    Problem("infinite-gaussian", _infinite_gaussian, 2, math.pi),
+    Problem(
+        "gaussian_measure-cos",
+        _gaussian_measure_cos,
+        2,
+        math.exp(-0.49),
+    ),
+]

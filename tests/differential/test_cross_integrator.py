@@ -1,0 +1,89 @@
+"""Cross-integrator differential harness.
+
+Every integrator in the package runs the shared corpus of finite-box and
+domain-transformed problems with analytically known values, and each
+result must land within its *own reported error bound* — the estimate
+and the error estimate are checked against each other, not just the
+estimate against the truth.  An integrator that silently under-reports
+its error fails here even when its estimate happens to be accurate.
+
+Deterministic integrators (PAGANI, CUHRE, two-phase) claim hard bounds
+and get a small safety factor only.  The stochastic baselines (vegas,
+randomised QMC) report one-sigma errors, so they get a chi-square-style
+multiplier: a seeded run sitting farther than 6 sigma from a known value
+is a bug, not bad luck.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import integrate
+
+from tests.differential.corpus import PROBLEMS
+
+METHODS = ["pagani", "cuhre", "two_phase", "qmc", "vegas"]
+
+#: safety multiplier on the reported error bound.  Deterministic
+#: integrators must essentially honour their bound; stochastic ones get
+#: 6-sigma slack on their one-sigma estimates.
+SIGMA = {
+    "pagani": 3.0,
+    "cuhre": 3.0,
+    "two_phase": 3.0,
+    "qmc": 6.0,
+    "vegas": 6.0,
+}
+
+#: per-method convergence goal — loose enough that every method finishes
+#: fast, tight enough that an estimate/bound mismatch is meaningful
+REL_TOL = {
+    "pagani": 1e-5,
+    "cuhre": 1e-5,
+    "two_phase": 1e-5,
+    "qmc": 1e-4,
+    "vegas": 1e-3,
+}
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("problem", PROBLEMS, ids=lambda p: p.name)
+def test_estimate_within_own_error_bound(problem, method):
+    f = problem.build()
+    res = integrate(
+        f, problem.ndim, rel_tol=REL_TOL[method], method=method,
+        max_eval=30_000_000,
+    )
+    assert res.converged, (
+        f"{method} failed to converge on {problem.name}: {res}"
+    )
+    err = abs(res.estimate - problem.truth)
+    # the reported bound, with an absolute floor so an errorest of
+    # exactly zero (possible for polynomial-exact rules) stays passable
+    allowed = SIGMA[method] * max(res.errorest, 1e-14 * abs(problem.truth))
+    assert err <= allowed, (
+        f"{method} on {problem.name}: |{res.estimate} - {problem.truth}| "
+        f"= {err:.3e} exceeds {SIGMA[method]} x errorest "
+        f"({res.errorest:.3e})"
+    )
+
+
+@pytest.mark.parametrize("problem", PROBLEMS, ids=lambda p: p.name)
+def test_integrators_agree_pairwise(problem):
+    """All five estimates of one problem agree among themselves.
+
+    Catches a family of bugs the per-method bound check cannot: a truth
+    value in the corpus being wrong would fail every method the same
+    way, while genuine disagreement isolates the odd integrator out.
+    """
+    f = problem.build()
+    estimates = {
+        m: integrate(
+            f, problem.ndim, rel_tol=REL_TOL[m], method=m,
+            max_eval=30_000_000,
+        ).estimate
+        for m in METHODS
+    }
+    lo, hi = min(estimates.values()), max(estimates.values())
+    spread = (hi - lo) / max(abs(problem.truth), 1e-300)
+    assert spread <= 5e-3, f"integrators disagree on {problem.name}: {estimates}"

@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 GOLDEN_PATH = Path(__file__).parent / "genz_numpy_golden.json"
+WORKLOAD_PATH = Path(__file__).parent / "workload_numpy_golden.json"
 
 #: the pinned workload: every Genz family at several dimensionalities
 DIMS = (2, 3, 5)
@@ -78,6 +79,54 @@ def compute_rows() -> list:
     return rows
 
 
+#: one pinned spec per transform family (PAGANI on numpy)
+TRANSFORM_ROWS = (
+    "semi_infinite(3D-f4, scale=2.0)",
+    "infinite(2D-genz-gaussian, scale=1.5)",
+    "gaussian_measure(2D-f4, mean=0.5, sigma=0.8)",
+)
+
+#: one pinned run per baseline integrator on a shared problem; vegas and
+#: qmc are seeded, so their sampling paths are deterministic too
+BASELINE_ROWS = (
+    ("cuhre", "3D-f4", 1e-5),
+    ("two_phase", "3D-f4", 1e-5),
+    ("qmc", "3D-f4", 1e-4),
+    ("vegas", "3D-f4", 1e-3),
+)
+
+
+def _result_row(res, rel_tol: float) -> dict:
+    return {
+        "rel_tol": rel_tol,
+        "estimate_hex": float(res.estimate).hex(),
+        "errorest_hex": float(res.errorest).hex(),
+        "estimate": res.estimate,
+        "errorest": res.errorest,
+        "iterations": res.iterations,
+        "neval": res.neval,
+        "status": res.status.value,
+    }
+
+
+def compute_workload_rows() -> list:
+    from repro.api import integrate
+    from repro.integrands.catalog import named_integrand
+
+    rows = []
+    for spec in TRANSFORM_ROWS:
+        f = named_integrand(spec)
+        res = integrate(f, f.ndim, rel_tol=REL_TOL, backend="numpy")
+        rows.append({"kind": "transform", "spec": spec,
+                     **_result_row(res, REL_TOL)})
+    for method, spec, rel_tol in BASELINE_ROWS:
+        f = named_integrand(spec)
+        res = integrate(f, f.ndim, rel_tol=rel_tol, method=method)
+        rows.append({"kind": "baseline", "method": method, "spec": spec,
+                     **_result_row(res, rel_tol)})
+    return rows
+
+
 def main() -> None:
     payload = {
         "schema": 1,
@@ -96,6 +145,18 @@ def main() -> None:
     }
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {GOLDEN_PATH} ({len(payload['rows'])} rows)")
+
+    workload = {
+        "schema": 1,
+        "description": (
+            "bit-exact transform-spec and baseline-integrator results "
+            "on the numpy backend"
+        ),
+        "generated_with": payload["generated_with"],
+        "rows": compute_workload_rows(),
+    }
+    WORKLOAD_PATH.write_text(json.dumps(workload, indent=2) + "\n")
+    print(f"wrote {WORKLOAD_PATH} ({len(workload['rows'])} rows)")
 
 
 if __name__ == "__main__":

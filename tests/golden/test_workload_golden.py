@@ -1,0 +1,73 @@
+"""Golden regression for the opened workload space.
+
+Pins bit-exact results for (a) one transformed integrand per transform
+family — the spec grammar must keep rebuilding *exactly* the same
+computation — and (b) every baseline integrator on a shared catalogue
+problem (vegas and QMC are seeded, so their sampling paths are pinned
+too).  Same regeneration contract as the Genz file: only an intentional
+numerical change may touch ``workload_numpy_golden.json``, via
+``tests/golden/regen.py``, with the reason in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import integrate
+from repro.integrands.catalog import named_integrand
+from tests.golden.regen import blas_fingerprint
+
+GOLDEN_PATH = Path(__file__).parent / "workload_numpy_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+# see tests/golden/test_golden.py: bit-exactness is promised only on the
+# BLAS-dispatch environment that generated the file
+_GEN = GOLDEN.get("generated_with", {})
+SAME_ENVIRONMENT = _GEN.get("blas_probe") == blas_fingerprint()
+
+
+def _case_id(row):
+    if row["kind"] == "transform":
+        return row["spec"]
+    return f"{row['method']}:{row['spec']}"
+
+
+def _run(row):
+    f = named_integrand(row["spec"])
+    if row["kind"] == "transform":
+        return integrate(f, f.ndim, rel_tol=row["rel_tol"], backend="numpy")
+    return integrate(f, f.ndim, rel_tol=row["rel_tol"], method=row["method"])
+
+
+@pytest.mark.parametrize("row", GOLDEN["rows"], ids=_case_id)
+def test_workload_bits_pinned(row):
+    res = _run(row)
+    if SAME_ENVIRONMENT:
+        assert float(res.estimate).hex() == row["estimate_hex"], (
+            f"estimate drifted: {res.estimate!r} vs pinned {row['estimate']!r}"
+        )
+        assert float(res.errorest).hex() == row["errorest_hex"], (
+            f"errorest drifted: {res.errorest!r} vs pinned {row['errorest']!r}"
+        )
+        assert res.iterations == row["iterations"]
+        assert res.neval == row["neval"]
+    else:
+        assert res.estimate == pytest.approx(row["estimate"], rel=1e-12)
+        assert res.errorest == pytest.approx(
+            row["errorest"], rel=1e-9, abs=1e-300
+        )
+    assert res.status.value == row["status"]
+
+
+def test_workload_golden_coverage():
+    """Every transform family and every baseline integrator is pinned."""
+    transforms = {
+        r["spec"].split("(")[0] for r in GOLDEN["rows"]
+        if r["kind"] == "transform"
+    }
+    assert transforms == {"semi_infinite", "infinite", "gaussian_measure"}
+    baselines = {
+        r["method"] for r in GOLDEN["rows"] if r["kind"] == "baseline"
+    }
+    assert baselines == {"cuhre", "two_phase", "qmc", "vegas"}

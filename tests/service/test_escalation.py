@@ -1,0 +1,235 @@
+"""Escalation policy: parsing, fault injection, honesty, fingerprints.
+
+The escalation ladder only earns its keep on *failing* jobs, so these
+tests force the failure modes deliberately: a watchdog tight enough to
+trip ``MAX_ITERATIONS``, a tolerance PAGANI cannot reach
+(``MEMORY_EXHAUSTED``), a monkeypatched rung that crashes mid-ladder,
+and a cancellation that lands while the ladder is running.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import integrate
+from repro.integrands.catalog import named_integrand
+from repro.core.result import Status
+from repro.errors import ConfigurationError
+from repro.service import (
+    EscalationPolicy,
+    IntegrationService,
+    JobSpec,
+    JobStatus,
+)
+from repro.service.store import result_from_payload, result_to_payload
+
+
+# ---------------------------------------------------------------------------
+# Descriptor parsing
+# ---------------------------------------------------------------------------
+def test_parse_describe_roundtrip():
+    for text in (
+        "two_phase>vegas>qmc",
+        "two_phase>vegas;watchdog=8",
+        "qmc;watchdog=3;max_eval=500000",
+        "vegas,two_phase",
+    ):
+        policy = EscalationPolicy.parse(text)
+        again = EscalationPolicy.parse(policy.describe())
+        assert again == policy
+
+
+def test_parse_spellings():
+    assert EscalationPolicy.parse(None) is None
+    assert EscalationPolicy.parse(False) is None
+    assert EscalationPolicy.parse("off") is None
+    assert EscalationPolicy.parse(True) == EscalationPolicy()
+    assert EscalationPolicy.parse("default") == EscalationPolicy()
+    assert EscalationPolicy.parse({"ladder": "qmc", "max_eval": 100_000}) == (
+        EscalationPolicy(ladder=("qmc",), max_eval=100_000)
+    )
+
+
+def test_parse_rejects_bad_descriptors():
+    with pytest.raises(ConfigurationError, match="unknown escalation rung"):
+        EscalationPolicy.parse("pagani>vegas")
+    with pytest.raises(ConfigurationError, match="repeats"):
+        EscalationPolicy.parse("vegas>vegas")
+    with pytest.raises(ConfigurationError, match="descriptor key"):
+        EscalationPolicy.parse("vegas;retries=3")
+    with pytest.raises(ConfigurationError, match="must not be empty"):
+        EscalationPolicy(ladder=())
+
+
+# ---------------------------------------------------------------------------
+# API-level fault injection
+# ---------------------------------------------------------------------------
+def test_watchdog_trips_and_ladder_recovers():
+    """A watchdog too tight for PAGANI hands the job to a rung that
+    converges; the result keeps the rung's own method and full history."""
+    res = integrate(named_integrand("3D-f4"), 3, rel_tol=1e-6,
+        escalation="two_phase>qmc;watchdog=1",
+    )
+    assert res.escalated
+    assert res.converged
+    assert res.method != "pagani"
+    assert res.escalation[0].method == "pagani"
+    assert res.escalation[0].status is Status.MAX_ITERATIONS
+    assert res.escalation[-1].method == res.method
+    assert res.escalation[-1].status is res.status
+
+
+def test_ladder_exhausted_keeps_honest_status():
+    """No rung reaches the impossible tolerance: the best candidate comes
+    back still flagged with its own failure status, never 'converged'."""
+    res = integrate(named_integrand("3D-f4"), 3, rel_tol=1e-13,
+        escalation="qmc;watchdog=1;max_eval=50000",
+    )
+    assert res.escalated
+    assert not res.converged
+    assert len(res.escalation) == 2  # pagani + qmc, both recorded
+    assert all(s.status is not None for s in res.escalation)
+
+
+def test_mid_ladder_crash_is_recorded_and_skipped(monkeypatch):
+    """A rung raising must not kill the job: the stage records the error
+    and the ladder continues to the next rung."""
+    from repro.baselines.vegas import VegasIntegrator
+
+    def boom(self, *args, **kwargs):
+        raise RuntimeError("injected vegas crash")
+
+    monkeypatch.setattr(VegasIntegrator, "integrate", boom)
+    res = integrate(named_integrand("3D-f4"), 3, rel_tol=1e-6,
+        escalation="vegas>two_phase;watchdog=1",
+    )
+    assert res.converged
+    assert res.method != "pagani"
+    methods = [s.method for s in res.escalation]
+    assert methods == ["pagani", "vegas", "two_phase"]
+    assert "injected vegas crash" in res.escalation[1].error
+    assert res.escalation[2].error is None
+
+
+def test_escalation_rejected_for_baseline_methods():
+    with pytest.raises(ConfigurationError, match="escalation"):
+        integrate(named_integrand("3D-f4"), 3, method="cuhre", escalation="default")
+
+
+# ---------------------------------------------------------------------------
+# Service-level behaviour
+# ---------------------------------------------------------------------------
+def test_service_escalated_job_flagged_and_cached():
+    with IntegrationService(max_concurrent=1) as svc:
+        handle = svc.submit(
+            "3D-f4", rel_tol=1e-6,
+            escalation="two_phase>qmc;watchdog=1",
+        )
+        res = handle.result(timeout=300)
+        assert handle.status is JobStatus.DONE
+        assert handle.stats.escalated
+        assert res.escalated
+        assert svc.stats()["escalations"] == 1
+
+        # replay from cache keeps the provenance
+        twin = svc.submit(
+            "3D-f4", rel_tol=1e-6,
+            escalation="two_phase>qmc;watchdog=1",
+        )
+        res2 = twin.result(timeout=300)
+        assert twin.cache_hit
+        assert [s.method for s in res2.escalation] == [
+            s.method for s in res.escalation
+        ]
+        assert res2.estimate == res.estimate
+
+
+def test_fingerprints_distinct_native_vs_escalated():
+    """One spec, three escalation settings, three distinct fingerprints —
+    a cache must never serve an escalated result to a native caller."""
+    with IntegrationService(max_concurrent=1) as svc:
+        fingerprints = set()
+        for escalation in (None, "two_phase>qmc;watchdog=1",
+                           "qmc;watchdog=1"):
+            handle = svc.submit_spec(
+                JobSpec("3D-f4", rel_tol=1e-6, escalation=escalation)
+            )
+            handle.result(timeout=300)
+            fingerprints.add(handle.stats.fingerprint)
+        assert len(fingerprints) == 3
+        assert svc.cache.stats()["hits"] == 0
+
+
+def test_service_default_policy_and_per_job_off():
+    """A service-wide default escalates failing jobs; a job opting out
+    runs native PAGANI, unwatched — same spec, distinct fingerprints."""
+    with IntegrationService(
+        max_concurrent=1, escalation="two_phase>qmc;watchdog=1"
+    ) as svc:
+        escalated = svc.submit("3D-f4", rel_tol=1e-6)
+        native = svc.submit("3D-f4", rel_tol=1e-6, escalation="off")
+        res_esc = escalated.result(timeout=300)
+        res_nat = native.result(timeout=300)
+    # the inherited watchdog=1 trips the first job onto the ladder; the
+    # opted-out twin runs the full native iteration budget and converges
+    assert res_esc.escalated and res_esc.converged
+    assert res_esc.method != "pagani"
+    assert not res_nat.escalated
+    assert res_nat.converged and res_nat.method == "pagani"
+    assert escalated.stats.fingerprint != native.stats.fingerprint
+
+
+def test_cancellation_during_escalation_not_cached():
+    """Cancel while the ladder runs: the job completes CANCELLED and the
+    partial escalated result never enters the cache."""
+    from repro.baselines.two_phase import TwoPhaseIntegrator
+
+    started = threading.Event()
+    release = threading.Event()
+    original = TwoPhaseIntegrator.integrate
+
+    def stalled(self, *args, **kwargs):
+        started.set()
+        assert release.wait(timeout=60)
+        return original(self, *args, **kwargs)
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(TwoPhaseIntegrator, "integrate", stalled)
+        with IntegrationService(max_concurrent=1) as svc:
+            handle = svc.submit(
+                "3D-f4", rel_tol=1e-6,
+                escalation="two_phase>qmc;watchdog=1",
+            )
+            assert started.wait(timeout=60)
+            handle.cancel()
+            release.set()
+            svc.wait_all(timeout=300)
+            assert handle.status is JobStatus.CANCELLED
+            assert len(svc.cache) == 0
+            assert svc.stats()["escalations"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Provenance serialisation
+# ---------------------------------------------------------------------------
+def test_escalation_survives_store_payload_roundtrip():
+    res = integrate(named_integrand("3D-f4"), 3, rel_tol=1e-6,
+        escalation="two_phase>qmc;watchdog=1",
+    )
+    assert res.escalated
+    payload = result_to_payload(res)
+    back = result_from_payload(payload)
+    assert back.escalation is not None
+    assert len(back.escalation) == len(res.escalation)
+    for a, b in zip(back.escalation, res.escalation):
+        assert a == b
+    assert back.estimate == res.estimate
+
+
+def test_native_result_payload_has_no_escalation_key():
+    res = integrate(named_integrand("3D-f4"), 3, rel_tol=1e-4)
+    payload = result_to_payload(res)
+    assert "escalation" not in payload
+    assert result_from_payload(payload).escalation is None

@@ -9,10 +9,15 @@ from repro.integrands.genz import GenzFamily, make_genz
 from tests.conftest import gaussian_nd
 
 
-@pytest.mark.parametrize("method", ["pagani", "cuhre", "two_phase", "qmc"])
+@pytest.mark.parametrize(
+    "method", ["pagani", "cuhre", "two_phase", "qmc", "vegas"]
+)
 def test_all_methods_dispatch_and_converge(method):
     g = gaussian_nd(3, c=20.0)
-    res = integrate(g, 3, rel_tol=1e-4, method=method, max_eval=20_000_000)
+    # vegas runs a fixed iteration schedule; its statistical error floor
+    # sits above 1e-4 relative, so it gets the looser (still honest) goal
+    rel_tol = 1e-3 if method == "vegas" else 1e-4
+    res = integrate(g, 3, rel_tol=rel_tol, method=method, max_eval=20_000_000)
     assert res.converged
     assert res.estimate == pytest.approx(g.reference, rel=1e-3)
     assert res.method.startswith(method.split("_")[0]) or method == "two_phase"
@@ -20,7 +25,7 @@ def test_all_methods_dispatch_and_converge(method):
 
 def test_unknown_method_rejected():
     with pytest.raises(ConfigurationError, match="unknown method"):
-        integrate(lambda x: np.ones(x.shape[0]), 2, method="vegas")
+        integrate(lambda x: np.ones(x.shape[0]), 2, method="lebesgue")
 
 
 def test_true_value_filled_from_integrand_metadata():

@@ -335,3 +335,48 @@ def test_committed_http_bench_artifact_claims():
     # the gate's floors ride inside the payload itself
     assert data["expectation"]["min_restart_hit_rate"] >= 0.9
     assert hz.http_bench_problems(data) == []
+
+
+def test_scenarios_bench_smoke_roundtrip(tmp_path, capsys):
+    data = hz.run_scenarios_bench(smoke=True)
+    assert data["mode"] == "smoke"
+    assert data["suite"] == "pagani-scenarios-bench"
+    for row in data["transforms"]:
+        assert row["converged"], row["spec"]
+        assert row["canonical_spec"]
+    assert all(m["converged"] for m in data["sweep"]["members"])
+    esc = data["escalation"]
+    # the watchdogged PAGANI attempt must actually escalate, and the
+    # result must keep the rung's own method — honest provenance
+    assert esc["escalated"]
+    assert esc["stages"][0]["method"] == "pagani"
+    assert esc["final_method"] == esc["stages"][-1]["method"] != "pagani"
+    assert esc["final_status"] == esc["stages"][-1]["status"]
+    assert hz.scenarios_bench_problems(data) == []
+
+    path = hz.write_scenarios_bench(data, out=tmp_path / "BENCH_scenarios.json")
+    import json
+
+    loaded = json.loads(path.read_text())
+    assert loaded["suite"] == "pagani-scenarios-bench"
+    hz.print_scenarios_bench(data)
+    out = capsys.readouterr().out
+    assert "escalation" in out
+    assert "pagani->" in out
+
+
+def test_committed_scenarios_bench_artifact_claims():
+    """The committed BENCH_scenarios.json must evidence the opened
+    workload space: every transform family and sweep member converged,
+    and the escalation row kept honest PAGANI-first provenance."""
+    import json
+
+    path = hz.RESULTS_DIR / hz.SCENARIOS_BENCH_FILE
+    data = json.loads(path.read_text())
+    assert data["suite"] == "pagani-scenarios-bench"
+    assert data["generated_by"].endswith("harness.py --scenarios")
+    families = {row["spec"].split("(")[0] for row in data["transforms"]}
+    assert families == {"semi_infinite", "infinite", "gaussian_measure"}
+    assert len(data["sweep"]["members"]) >= 2
+    assert data["escalation"]["escalated"]
+    assert hz.scenarios_bench_problems(data) == []

@@ -194,3 +194,77 @@ def test_committed_http_artifact_passes_gate(capsys):
             / "BENCH_http.json")
     assert gate.main(["--current", str(path)]) == 0
     assert "benchmark gate OK" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# pagani-scenarios-bench payloads (correctness claims; no baseline)
+# ---------------------------------------------------------------------------
+def scenarios_payload(converged=True, escalated=True, final_method="two_phase",
+                      final_converged=True, first_stage="pagani"):
+    row = {
+        "spec": "semi_infinite(3D-f4, scale=2.0)",
+        "canonical_spec": "semi_infinite(3d-f4, scale=2.0)",
+        "estimate": 1.0, "status": "converged_rel", "converged": converged,
+    }
+    member = {"spec": "gaussian_measure(2d-f4)", "estimate": 1.0,
+              "status": "converged_rel", "converged": converged}
+    return {
+        "schema": 1,
+        "suite": "pagani-scenarios-bench",
+        "transforms": [row],
+        "sweep": {"spec": "sweep:gaussian_measure(2D-f4, sigma=0.5;1.0)",
+                  "members": [member, dict(member)]},
+        "escalation": {
+            "spec": "3D-f4",
+            "escalated": escalated,
+            "final_method": final_method,
+            "final_status": "converged_rel",
+            "converged": final_converged,
+            "estimate": 1.0,
+            "stages": [
+                {"method": first_stage, "status": "max_iterations"},
+                {"method": final_method, "status": "converged_rel"},
+            ],
+        },
+    }
+
+
+def run_scenarios(tmp_path, current):
+    return gate.main(["--current", write(tmp_path, "scen.json", current)])
+
+
+def test_scenarios_payload_ok(tmp_path, capsys):
+    assert run_scenarios(tmp_path, scenarios_payload()) == 0
+    out = capsys.readouterr().out
+    assert "benchmark gate OK" in out
+    assert "pagani->two_phase" in out
+
+
+def test_scenarios_dnf_is_fatal(tmp_path, capsys):
+    assert run_scenarios(tmp_path, scenarios_payload(converged=False)) == 1
+    assert "DNF" in capsys.readouterr().err
+
+
+def test_scenarios_relabelled_escalation_is_fatal(tmp_path, capsys):
+    dishonest = scenarios_payload(final_method="pagani")
+    assert run_scenarios(tmp_path, dishonest) == 1
+    assert "relabelled" in capsys.readouterr().err
+
+
+def test_scenarios_missing_escalation_is_fatal(tmp_path, capsys):
+    assert run_scenarios(tmp_path, scenarios_payload(escalated=False)) == 1
+    assert "did not escalate" in capsys.readouterr().err
+
+
+def test_scenarios_payload_without_sections_exit_2(tmp_path):
+    broken = {"schema": 1, "suite": "pagani-scenarios-bench"}
+    with pytest.raises(SystemExit) as exc:
+        run_scenarios(tmp_path, broken)
+    assert exc.value.code == 2
+
+
+def test_committed_scenarios_artifact_passes_gate(capsys):
+    path = (Path(__file__).parent.parent / "benchmarks" / "results"
+            / "BENCH_scenarios.json")
+    assert gate.main(["--current", str(path)]) == 0
+    assert "benchmark gate OK" in capsys.readouterr().out
